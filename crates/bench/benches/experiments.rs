@@ -1,0 +1,109 @@
+//! Criterion end-to-end benchmarks mirroring the paper's measured
+//! quantities: PMT for a MIDAS batch (minor and major), CATAPULT /
+//! CATAPULT++ rebuild time, FCT maintenance, and index maintenance.
+//! These are the series behind Figs 11, 12 and 16 in bench form.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use midas_catapult::PatternBudget;
+use midas_core::baselines::{catapult_from_scratch, catapult_pp_from_scratch};
+use midas_core::{Midas, MidasConfig};
+use midas_datagen::updates::{growth_batch, novel_family_batch};
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+use midas_graph::GraphDb;
+use midas_mining::incremental::FctState;
+use std::hint::black_box;
+
+fn config(seed: u64) -> MidasConfig {
+    MidasConfig {
+        budget: PatternBudget {
+            eta_min: 3,
+            eta_max: 6,
+            gamma: 8,
+        },
+        sup_min: 0.4,
+        max_tree_edges: 3,
+        coarse_clusters: 4,
+        max_cluster_size: 60,
+        sample_size: 80,
+        walks: 40,
+        walk_length: 12,
+        seeds_per_size: 2,
+        seed,
+        ..MidasConfig::default()
+    }
+}
+
+fn dataset(n: usize) -> GraphDb {
+    DatasetSpec::new(DatasetKind::PubchemLike, n, 3).generate().db
+}
+
+fn bench_pmt(c: &mut Criterion) {
+    let db = dataset(150);
+    c.bench_function("pmt/midas_minor_batch_plus10", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Midas::bootstrap(db.clone(), config(1)).expect("non-empty"),
+                    growth_batch(&DatasetKind::PubchemLike.params(), 15, 5),
+                )
+            },
+            |(mut midas, update)| black_box(midas.apply_batch(update)),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("pmt/midas_major_batch_novel", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Midas::bootstrap(db.clone(), config(1)).expect("non-empty"),
+                    novel_family_batch(MotifKind::BoronicEster, 40, 5),
+                )
+            },
+            |(mut midas, update)| black_box(midas.apply_batch(update)),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let db = dataset(150);
+    c.bench_function("rebuild/catapult_from_scratch", |b| {
+        b.iter(|| black_box(catapult_from_scratch(black_box(&db), &config(2))))
+    });
+    c.bench_function("rebuild/catapult_pp_from_scratch", |b| {
+        b.iter(|| black_box(catapult_pp_from_scratch(black_box(&db), &config(2))))
+    });
+}
+
+fn bench_fct_maintenance(c: &mut Criterion) {
+    let db = dataset(200);
+    let mining = config(3).mining();
+    c.bench_function("fct/maintain_plus20_graphs", |b| {
+        b.iter_batched(
+            || {
+                let state = FctState::build(&db, mining);
+                let mut evolved = db.clone();
+                let (inserted, _) =
+                    evolved.apply(growth_batch(&DatasetKind::PubchemLike.params(), 20, 9));
+                (state, evolved, inserted)
+            },
+            |(mut state, evolved, inserted)| {
+                state.apply_batch(&evolved, &inserted, &[]);
+                black_box(state)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("fct/build_from_scratch_220", |b| {
+        let mut evolved = db.clone();
+        evolved.apply(growth_batch(&DatasetKind::PubchemLike.params(), 20, 9));
+        b.iter(|| black_box(FctState::build(black_box(&evolved), mining)))
+    });
+}
+
+criterion_group!(
+    name = experiments;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pmt, bench_rebuild, bench_fct_maintenance
+);
+criterion_main!(experiments);

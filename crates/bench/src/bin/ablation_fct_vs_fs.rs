@@ -1,0 +1,61 @@
+//! Ablation: frequent closed trees (FCT) vs frequent subtrees (FS) as the
+//! clustering feature basis — §3.3's scaffolding claim.
+//!
+//! > "there are fewer closed trees than frequent ones in general.
+//! > Consequently, FCTs significantly reduce the number of frequent
+//! > structures being considered."
+//!
+//! Reports |FS| vs |FCT| and the coarse-clustering feature dimensionality
+//! for each dataset preset, plus mining time.
+
+use midas_bench::{fmt_duration, print_table};
+use midas_cluster::FeatureSpace;
+use midas_datagen::{DatasetKind, DatasetSpec};
+use midas_mining::incremental::FctState;
+use midas_mining::MiningConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut rows = Vec::new();
+    // Deeper trees subsume more subtrees, so the FCT reduction grows with
+    // max_edges — sweep it alongside the dataset presets.
+    for (kind, size, max_edges) in [
+        (DatasetKind::AidsLike, 250, 2),
+        (DatasetKind::AidsLike, 250, 3),
+        (DatasetKind::AidsLike, 250, 4),
+        (DatasetKind::PubchemLike, 250, 3),
+        (DatasetKind::EmolLike, 250, 3),
+    ] {
+        let mining = MiningConfig {
+            sup_min: 0.4,
+            max_edges,
+        };
+        let ds = DatasetSpec::new(kind, size, 88).generate();
+        let t = Instant::now();
+        let state = FctState::build(&ds.db, mining);
+        let mine_time = t.elapsed();
+        let fs = state.frequent_trees(ds.db.len()).len();
+        let fct = state.fct(ds.db.len()).len();
+        let fs_space = FeatureSpace::from_frequent(&state.lattice, mining.sup_min, ds.db.len());
+        let fct_space = FeatureSpace::from_fct(&state.lattice, mining.sup_min, ds.db.len());
+        rows.push(vec![
+            format!("{} (≤{} edges)", ds.name, max_edges),
+            fs.to_string(),
+            fct.to_string(),
+            format!("{:.0}%", 100.0 * fct as f64 / fs.max(1) as f64),
+            fs_space.dims().to_string(),
+            fct_space.dims().to_string(),
+            fmt_duration(mine_time),
+        ]);
+    }
+    print_table(
+        "Ablation: FCT vs FS feature bases (sup_min = 0.4)",
+        &["dataset", "|FS|", "|FCT|", "FCT/FS", "FS dims", "FCT dims", "mine time"],
+        &rows,
+    );
+    println!(
+        "\nPaper claim (§3.3): closed trees are fewer than frequent trees,\n\
+         shrinking the clustering feature space while preserving the\n\
+         information (FS are derivable from FCT)."
+    );
+}

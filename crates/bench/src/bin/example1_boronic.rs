@@ -1,0 +1,93 @@
+//! Example 1.1 / 1.2 walk-through: the boronic-acid query before and after
+//! the boronic-ester batch arrives.
+//!
+//! The paper's numbers: edge-at-a-time 41 steps (145 s); stale patterns
+//! 20 steps (102 s); refreshed patterns 14 steps (70 s). We reproduce the
+//! *ordering and mechanism* — the refreshed set contains an ester-family
+//! pattern that the stale set lacks, cutting steps further.
+
+use midas_bench::{experiment_config, print_table};
+use midas_core::Midas;
+use midas_datagen::updates::novel_family_batch;
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+use midas_graph::LabeledGraph;
+use midas_queryform::{formulate, StudyConfig, UserStudy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Database: PubChem-like, then a boronic-ester wave arrives.
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 200, 21).generate().db;
+    let config = experiment_config(21);
+    let mut midas = Midas::bootstrap(db, config).expect("non-empty");
+    let stale = midas.patterns();
+
+    // A large ester wave (the paper's 6 375 boronic esters against 23K
+    // compounds is ~28%; we add 40%) so ester edges become frequent enough
+    // for the random walks to surface B-carrying candidates.
+    let update = novel_family_batch(MotifKind::BoronicEster, 80, 210);
+    let report = midas.apply_batch(update);
+    let fresh = midas.patterns();
+    let boron = midas_datagen::atom(midas_datagen::Atom::B);
+    let fresh_has_b = fresh.iter().any(|p| p.labels().contains(&boron));
+    let stale_has_b = stale.iter().any(|p| p.labels().contains(&boron));
+
+    // John's query: a full boronic-ester compound from the new family —
+    // the analogue of the paper's boronic-acid query (Fig. 1).
+    let ester_graph = novel_family_batch(MotifKind::BoronicEster, 3, 911)
+        .insert
+        .remove(1);
+    let mut rng = StdRng::seed_from_u64(212);
+    let query: LabeledGraph =
+        midas_datagen::random_connected_subgraph(&ester_graph, ester_graph.edge_count(), &mut rng)
+            .unwrap_or(ester_graph);
+
+    let study = UserStudy::new(StudyConfig {
+        users: 1,
+        user_sigma: 0.0,
+        ..StudyConfig::default()
+    });
+    let edge_mode = formulate(&query, &[]);
+    let with_stale = formulate(&query, &stale);
+    let with_fresh = formulate(&query, &fresh);
+    let rows = vec![
+        vec![
+            "edge-at-a-time".into(),
+            edge_mode.steps.to_string(),
+            format!("{:.0}s", study.run(std::slice::from_ref(&query), &[]).qft_secs),
+        ],
+        vec![
+            "stale patterns (pre-update)".into(),
+            with_stale.steps.to_string(),
+            format!(
+                "{:.0}s",
+                study.run(std::slice::from_ref(&query), &stale).qft_secs
+            ),
+        ],
+        vec![
+            "refreshed patterns (MIDAS)".into(),
+            with_fresh.steps.to_string(),
+            format!(
+                "{:.0}s",
+                study.run(std::slice::from_ref(&query), &fresh).qft_secs
+            ),
+        ],
+    ];
+    print_table(
+        "Example 1: formulating a boronic-ester query",
+        &["mode", "steps", "QFT"],
+        &rows,
+    );
+    println!(
+        "\nbatch classified as {:?} (graphlet drift {:.3}), {} swaps",
+        report.kind, report.distance, report.swaps
+    );
+    println!(
+        "stale set contains a B-carrying pattern: {stale_has_b}; refreshed set: {fresh_has_b} \
+         (the paper's p3' effect)"
+    );
+    println!(
+        "paper's ordering: edge-at-a-time (41) > stale (20) > refreshed (14); \
+         ours must be monotone the same way."
+    );
+}

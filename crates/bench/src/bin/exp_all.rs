@@ -1,0 +1,34 @@
+//! Runs the full experiment suite (Figs 9–16 + Example 1) sequentially at
+//! harness scale. Each figure also has its own binary for focused runs.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig09_user_study",
+        "fig10_user_queries",
+        "fig11_thresholds",
+        "fig12_index_cost",
+        "fig13_nomaintain",
+        "fig14_baselines_aids",
+        "fig15_baselines_pubchem",
+        "fig16_scalability",
+        "example1_boronic",
+        "ablation_pruning",
+        "ablation_fct_vs_fs",
+    ];
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(1);
+        }
+    }
+    println!("\nall experiments completed");
+}

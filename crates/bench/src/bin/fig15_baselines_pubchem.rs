@@ -1,0 +1,43 @@
+//! Exp 3b continued (Fig. 15): the baseline comparison of Fig. 14 on
+//! PubChem-like data (paper: PubChem15K).
+
+use midas_bench::{
+    experiment_config, fmt_duration, mu_against, print_table, scaled_dataset, BaselineBench,
+};
+use midas_datagen::updates::novel_family_batch;
+use midas_datagen::{DatasetKind, MotifKind};
+
+fn main() {
+    let kind = DatasetKind::PubchemLike;
+    let db = scaled_dataset(kind, 15_000, 100, 15);
+    let config = experiment_config(15);
+    let mut bench = BaselineBench::bootstrap(db, config);
+    let update = novel_family_batch(MotifKind::BoronicEster, bench.midas.db().len() / 5, 150);
+    let mut evolved = bench.midas.db().clone();
+    let (inserted, _) = evolved.apply(update.clone());
+    let queries = midas_datagen::balanced_query_set(&evolved, &inserted, 60, (3, 10), 151);
+
+    let rows = bench.run_batch(update, &queries);
+    let midas_patterns = rows[0].patterns.clone();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                fmt_duration(r.time),
+                format!("{:.1}%", r.missed_pct),
+                format!("{:.1}", r.steps),
+                format!("{:+.3}", mu_against(&queries, &r.patterns, &midas_patterns)),
+                format!("{:.3}", r.quality.scov),
+                format!("{:.3}", r.quality.lcov),
+                format!("{:.2}", r.quality.div),
+                format!("{:.2}", r.quality.cog),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 15: baselines on PubChem-like",
+        &["approach", "time", "MP", "steps", "mu(MIDAS vs X)", "scov", "lcov", "div", "cog"],
+        &table,
+    );
+}

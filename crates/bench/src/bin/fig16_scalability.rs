@@ -1,0 +1,62 @@
+//! Exp 4 (Fig. 16): scalability — PMT, PGT, cluster-maintenance speedup
+//! over CATAPULT rebuild, and quality ranges as the dataset grows.
+//!
+//! Paper setting: PubChem DS = {200K, 450K, 950K} each +50K. Here: 1/1000
+//! scale (200 / 450 / 950 graphs, each +20%).
+
+use midas_bench::{experiment_config, fmt_duration, print_table};
+use midas_core::baselines::catapult_from_scratch;
+use midas_core::Midas;
+use midas_datagen::{DatasetKind, DatasetSpec};
+
+fn main() {
+    let kind = DatasetKind::PubchemLike;
+    let mut rows = Vec::new();
+    for (label, size) in [("200K/1000", 200), ("450K/1000", 450), ("950K/1000", 950)] {
+        let db = DatasetSpec::new(kind, size, 16).generate().db;
+        let config = experiment_config(16);
+        let mut midas = Midas::bootstrap(db.clone(), config).expect("non-empty");
+        // The paper adds 50K new PubChem compounds per scale — a novel
+        // wave large enough to warrant maintenance. We add a proportional
+        // novel-family batch (+20%) so the major path runs at every scale.
+        let update = midas_datagen::novel_family_batch(
+            midas_datagen::MotifKind::BoronicEster,
+            size / 5,
+            160,
+        );
+        let report = midas.apply_batch(update);
+        let quality = midas.quality();
+        // CATAPULT rebuild on the evolved database for the speedup column.
+        let scratch = catapult_from_scratch(midas.db(), &config);
+        let speedup_pmt =
+            scratch.total_time.as_secs_f64() / report.pattern_maintenance_time.as_secs_f64().max(1e-9);
+        let speedup_cluster = scratch.clustering_time.as_secs_f64()
+            / report.clustering_time.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            label.to_owned(),
+            midas.db().len().to_string(),
+            fmt_duration(report.pattern_maintenance_time),
+            fmt_duration(report.pattern_generation_time()),
+            fmt_duration(scratch.total_time),
+            format!("{speedup_pmt:.0}x"),
+            format!("{speedup_cluster:.0}x"),
+            format!("{:.2}", quality.scov),
+            format!("{:.2}", quality.lcov),
+            format!("{:.2}", quality.div),
+            format!("{:.2}", quality.cog),
+        ]);
+    }
+    print_table(
+        "Fig 16: scalability on PubChem-like (+20% novel batch per scale)",
+        &[
+            "dataset", "|D|", "PMT", "PGT", "CATAPULT rebuild", "PMT speedup",
+            "cluster speedup", "scov", "lcov", "div", "cog",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: PMT/PGT grow with |D| but stay far below rebuild\n\
+         (paper: 83× PMT and 642× clustering speedup at 1M);\n\
+         quality stays in tight ranges (scov 0.94–0.98, cog 1.8–3.3)."
+    );
+}

@@ -1,0 +1,164 @@
+//! Weighted random walks over CSGs (§2.3).
+//!
+//! CATAPULT performs `x` random walks per weighted CSG and keeps, per edge,
+//! how often it was traversed; candidate patterns are then grown from the
+//! most-traversed edges. Walks choose the next edge among those incident to
+//! the current vertex, proportionally to edge weight.
+
+use crate::weights::WeightedCsg;
+use midas_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Edge-traversal statistics from a batch of walks, aligned with
+/// `csg.graph.edges()`.
+#[derive(Debug, Clone)]
+pub struct WalkStats {
+    /// Traversal count per edge.
+    pub traversals: Vec<u64>,
+}
+
+impl WalkStats {
+    /// Indices of edges sorted by descending traversal count (ties: lower
+    /// edge index first, for determinism).
+    pub fn edges_by_frequency(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.traversals.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.traversals[i]), i));
+        order
+    }
+}
+
+/// Runs `walks` random walks of `length` steps each and counts traversals.
+///
+/// Each walk starts on an edge sampled by weight, then repeatedly moves to
+/// a weight-sampled edge incident to the current endpoint. Zero-edge CSGs
+/// yield empty stats.
+pub fn random_walks(csg: &WeightedCsg, walks: usize, length: usize, rng: &mut StdRng) -> WalkStats {
+    let edge_count = csg.graph.edge_count();
+    let mut traversals = vec![0u64; edge_count];
+    if edge_count == 0 || walks == 0 || length == 0 {
+        return WalkStats { traversals };
+    }
+    // Incident edge index lists per vertex.
+    let mut incident: Vec<Vec<usize>> = vec![Vec::new(); csg.graph.vertex_count()];
+    for (i, &(u, v)) in csg.graph.edges().iter().enumerate() {
+        incident[u as usize].push(i);
+        incident[v as usize].push(i);
+    }
+    let total = csg.total_weight();
+    for _ in 0..walks {
+        // Start edge ~ weight.
+        let mut cut = rng.random::<f64>() * total;
+        let mut current = edge_count - 1;
+        for (i, &w) in csg.weights.iter().enumerate() {
+            if cut < w {
+                current = i;
+                break;
+            }
+            cut -= w;
+        }
+        traversals[current] += 1;
+        // Walk: pick an endpoint, then a weighted incident edge.
+        let (mut u, mut v) = csg.graph.edges()[current];
+        for _ in 1..length {
+            let pivot: VertexId = if rng.random_bool(0.5) { u } else { v };
+            let choices = &incident[pivot as usize];
+            let local_total: f64 = choices.iter().map(|&i| csg.weights[i]).sum();
+            if local_total <= 0.0 || choices.is_empty() {
+                break;
+            }
+            let mut cut = rng.random::<f64>() * local_total;
+            let mut next = choices[choices.len() - 1];
+            for &i in choices {
+                if cut < csg.weights[i] {
+                    next = i;
+                    break;
+                }
+                cut -= csg.weights[i];
+            }
+            traversals[next] += 1;
+            let (a, b) = csg.graph.edges()[next];
+            (u, v) = (a, b);
+        }
+    }
+    WalkStats { traversals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::{ClosureGraph, GraphBuilder, GraphId, LabeledGraph};
+    use midas_mining::EdgeCatalog;
+    use rand::SeedableRng;
+
+    fn weighted(graph: &LabeledGraph) -> WeightedCsg {
+        let csg = ClosureGraph::from_graphs([(GraphId(1), graph)]);
+        let catalog = EdgeCatalog::build([(GraphId(1), graph)]);
+        WeightedCsg::build(&csg, &catalog, 1)
+    }
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    #[test]
+    fn walks_visit_edges() {
+        let csg = weighted(&path(&[0, 1, 2, 3]));
+        let mut rng = StdRng::seed_from_u64(1);
+        let stats = random_walks(&csg, 100, 8, &mut rng);
+        assert_eq!(stats.traversals.len(), 3);
+        assert!(stats.traversals.iter().all(|&t| t > 0));
+        assert!(stats.traversals.iter().sum::<u64>() >= 100);
+    }
+
+    #[test]
+    fn heavier_edges_attract_more_traversals() {
+        let graph = path(&[0, 1, 2]);
+        let mut csg = weighted(&graph);
+        // Bias edge 0 heavily.
+        csg.weights[0] = 100.0;
+        csg.weights[1] = 0.01;
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = random_walks(&csg, 200, 6, &mut rng);
+        assert!(
+            stats.traversals[0] > stats.traversals[1] * 5,
+            "biased walk: {:?}",
+            stats.traversals
+        );
+    }
+
+    #[test]
+    fn frequency_ordering_is_deterministic() {
+        let csg = weighted(&path(&[0, 1, 2, 3, 4]));
+        let mut rng = StdRng::seed_from_u64(3);
+        let stats = random_walks(&csg, 50, 6, &mut rng);
+        let order = stats.edges_by_frequency();
+        for w in order.windows(2) {
+            assert!(stats.traversals[w[0]] >= stats.traversals[w[1]]);
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = weighted(&{
+            let mut g = LabeledGraph::new();
+            g.add_vertex(0);
+            g
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = random_walks(&empty, 10, 5, &mut rng);
+        assert!(stats.traversals.is_empty());
+        let csg = weighted(&path(&[0, 1]));
+        let none = random_walks(&csg, 0, 5, &mut rng);
+        assert_eq!(none.traversals, vec![0]);
+    }
+
+    #[test]
+    fn seeded_walks_reproduce() {
+        let csg = weighted(&path(&[0, 1, 2, 1, 0]));
+        let a = random_walks(&csg, 30, 5, &mut StdRng::seed_from_u64(9));
+        let b = random_walks(&csg, 30, 5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.traversals, b.traversals);
+    }
+}

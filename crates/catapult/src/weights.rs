@@ -1,0 +1,156 @@
+//! CSG edge weighting (§2.3): `w_e = lcov(e, D) × lcov(e, C)`.
+
+use midas_graph::{ClosureGraph, EdgeLabel, LabeledGraph};
+use midas_mining::EdgeCatalog;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A cluster summary graph projected to a plain labeled graph with one
+/// weight per edge, ready for random walks.
+#[derive(Debug, Clone)]
+pub struct WeightedCsg {
+    /// The projected CSG (representative labels; see
+    /// [`ClosureGraph::to_labeled_graph`]).
+    pub graph: LabeledGraph,
+    /// Weight of each edge, aligned with `graph.edges()`.
+    pub weights: Vec<f64>,
+}
+
+impl WeightedCsg {
+    /// Builds the weighted projection of `csg`.
+    ///
+    /// `lcov(e, D)` comes from the database-wide [`EdgeCatalog`];
+    /// `lcov(e, C)` is computed from the CSG's own edge supports: the
+    /// fraction of cluster members containing an edge with that label.
+    pub fn build(csg: &ClosureGraph, catalog: &EdgeCatalog, db_len: usize) -> Self {
+        let (graph, back) = csg.to_labeled_graph();
+        let cluster_size = csg.members().len().max(1);
+        // Union of supports per label within this cluster.
+        let mut label_support: BTreeMap<EdgeLabel, BTreeSet<midas_graph::GraphId>> =
+            BTreeMap::new();
+        for (u, v, support) in csg.edges() {
+            let (lu, lv) = (
+                csg.representative_label(u).expect("live edge endpoint"),
+                csg.representative_label(v).expect("live edge endpoint"),
+            );
+            label_support
+                .entry(EdgeLabel::new(lu, lv))
+                .or_default()
+                .extend(support.iter().copied());
+        }
+        let weights = graph
+            .edges()
+            .iter()
+            .map(|&(u, v)| {
+                let label = graph.edge_label(u, v);
+                let lcov_db = catalog.lcov(label, db_len);
+                let lcov_cluster = label_support
+                    .get(&label)
+                    .map_or(0.0, |s| s.len() as f64 / cluster_size as f64);
+                (lcov_db * lcov_cluster).max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        let _ = back;
+        WeightedCsg { graph, weights }
+    }
+
+    /// Multiplicative-weights update (§2.3, \[7\]): after `pattern` is
+    /// selected, every CSG edge whose label occurs in the pattern is
+    /// penalized by `factor ∈ (0, 1)`, steering later walks toward
+    /// uncovered structure.
+    pub fn penalize(&mut self, pattern: &LabeledGraph, factor: f64) {
+        let labels: BTreeSet<EdgeLabel> = pattern.edge_labels().collect();
+        for (i, &(u, v)) in self.graph.edges().iter().enumerate() {
+            if labels.contains(&self.graph.edge_label(u, v)) {
+                self.weights[i] *= factor;
+            }
+        }
+    }
+
+    /// Total weight (used by walk-start sampling).
+    pub fn total_weight(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::{GraphBuilder, GraphId};
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn gid(i: u64) -> GraphId {
+        GraphId(i)
+    }
+
+    #[test]
+    fn weights_multiply_db_and_cluster_coverage() {
+        // Cluster: two graphs, both containing C-O; one containing O-N.
+        let g1 = path(&[0, 1, 2]);
+        let g2 = path(&[0, 1]);
+        let csg = ClosureGraph::from_graphs([(gid(1), &g1), (gid(2), &g2)]);
+        // DB has 4 graphs total; C-O in 2, O-N in 1 (others elsewhere).
+        let g3 = path(&[3, 3]);
+        let g4 = path(&[3, 4]);
+        let catalog = EdgeCatalog::build([
+            (gid(1), &g1),
+            (gid(2), &g2),
+            (gid(3), &g3),
+            (gid(4), &g4),
+        ]);
+        let weighted = WeightedCsg::build(&csg, &catalog, 4);
+        assert_eq!(weighted.graph.edge_count(), 2);
+        for (i, &(u, v)) in weighted.graph.edges().iter().enumerate() {
+            let label = weighted.graph.edge_label(u, v);
+            if label == EdgeLabel::new(0, 1) {
+                // lcov_db = 2/4, lcov_cluster = 2/2.
+                assert!((weighted.weights[i] - 0.5).abs() < 1e-12);
+            } else {
+                // O-N: lcov_db = 1/4, lcov_cluster = 1/2.
+                assert!((weighted.weights[i] - 0.125).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_strictly_positive() {
+        let g1 = path(&[5, 6]);
+        let csg = ClosureGraph::from_graphs([(gid(1), &g1)]);
+        // Catalog that has never seen the label: lcov_db = 0, clamped.
+        let other = path(&[0, 1]);
+        let catalog = EdgeCatalog::build([(gid(2), &other)]);
+        let weighted = WeightedCsg::build(&csg, &catalog, 1);
+        assert!(weighted.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn penalize_shrinks_matching_labels_only() {
+        let g1 = path(&[0, 1, 2]);
+        let csg = ClosureGraph::from_graphs([(gid(1), &g1)]);
+        let catalog = EdgeCatalog::build([(gid(1), &g1)]);
+        let mut weighted = WeightedCsg::build(&csg, &catalog, 1);
+        let before = weighted.weights.clone();
+        weighted.penalize(&path(&[0, 1]), 0.5); // pattern covers C-O only
+        for (i, &(u, v)) in weighted.graph.edges().iter().enumerate() {
+            let label = weighted.graph.edge_label(u, v);
+            if label == EdgeLabel::new(0, 1) {
+                assert!((weighted.weights[i] - before[i] * 0.5).abs() < 1e-12);
+            } else {
+                assert_eq!(weighted.weights[i], before[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn total_weight_sums() {
+        let g1 = path(&[0, 1, 0]);
+        let csg = ClosureGraph::from_graphs([(gid(1), &g1)]);
+        let catalog = EdgeCatalog::build([(gid(1), &g1)]);
+        let weighted = WeightedCsg::build(&csg, &catalog, 1);
+        let sum: f64 = weighted.weights.iter().sum();
+        assert!((weighted.total_weight() - sum).abs() < 1e-12);
+    }
+}

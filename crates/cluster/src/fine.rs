@@ -1,0 +1,135 @@
+//! Fine clustering (§2.3): splitting oversized coarse clusters by MCCS
+//! similarity.
+//!
+//! A coarse cluster larger than the maximum cluster size `N` is replaced by
+//! smaller clusters of at most `N` graphs each, grouping graphs with high
+//! `ω_MCCS` similarity to a seed (the cluster's largest graph). This is the
+//! greedy realization of the fine-clustering objective: members of a fine
+//! cluster are more MCCS-similar to each other than to members of other
+//! fine clusters.
+
+use midas_graph::mccs::mccs_similarity;
+use midas_graph::{GraphId, LabeledGraph};
+
+/// Splits `members` into groups of at most `max_size`, grouping by MCCS
+/// similarity to a seed graph. Groups come back in creation order; input
+/// order within a group is not preserved.
+///
+/// `budget` caps each pairwise MCCS search (see
+/// [`midas_graph::mccs::mccs_edges`]).
+pub fn fine_cluster(
+    members: &[(GraphId, &LabeledGraph)],
+    max_size: usize,
+    budget: u64,
+) -> Vec<Vec<GraphId>> {
+    assert!(max_size >= 1, "max cluster size must be positive");
+    if members.len() <= max_size {
+        return vec![members.iter().map(|&(id, _)| id).collect()];
+    }
+    let mut pool: Vec<(GraphId, &LabeledGraph)> = members.to_vec();
+    let mut groups = Vec::new();
+    while !pool.is_empty() {
+        if pool.len() <= max_size {
+            groups.push(pool.drain(..).map(|(id, _)| id).collect());
+            break;
+        }
+        // Seed: the largest remaining graph (ties by id for determinism).
+        let seed_idx = pool
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, (id, g))| (g.edge_count(), std::cmp::Reverse(*id)))
+            .map(|(i, _)| i)
+            .expect("pool non-empty");
+        let (seed_id, seed_graph) = pool.swap_remove(seed_idx);
+        // Rank the rest by similarity to the seed.
+        let mut scored: Vec<(f64, usize)> = pool
+            .iter()
+            .enumerate()
+            .map(|(i, (_, g))| (mccs_similarity(seed_graph, g, budget), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite").then(a.1.cmp(&b.1)));
+        let take = (max_size - 1).min(scored.len());
+        let mut chosen_idx: Vec<usize> = scored[..take].iter().map(|&(_, i)| i).collect();
+        chosen_idx.sort_unstable_by(|a, b| b.cmp(a)); // remove back-to-front
+        let mut group = vec![seed_id];
+        for idx in chosen_idx {
+            group.push(pool.swap_remove(idx).0);
+        }
+        groups.push(group);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn gid(i: u64) -> GraphId {
+        GraphId(i)
+    }
+
+    #[test]
+    fn small_input_stays_whole() {
+        let a = path(&[0, 1]);
+        let b = path(&[0, 2]);
+        let members = vec![(gid(1), &a), (gid(2), &b)];
+        let groups = fine_cluster(&members, 5, 1000);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+
+    #[test]
+    fn oversized_cluster_splits_to_max_size() {
+        let graphs: Vec<LabeledGraph> = (0..7).map(|i| path(&[i % 3, (i + 1) % 3])).collect();
+        let members: Vec<(GraphId, &LabeledGraph)> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (gid(i as u64), g))
+            .collect();
+        let groups = fine_cluster(&members, 3, 1000);
+        assert!(groups.iter().all(|g| g.len() <= 3));
+        let total: usize = groups.iter().map(|g| g.len()).sum();
+        assert_eq!(total, 7);
+        // No id lost or duplicated.
+        let mut all: Vec<GraphId> = groups.concat();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), 7);
+    }
+
+    #[test]
+    fn similar_graphs_group_together() {
+        // Two families: C-O-C chains vs S-S-S chains, max size 3.
+        let family_a: Vec<LabeledGraph> = (0..3).map(|_| path(&[0, 1, 0, 1])).collect();
+        let family_b: Vec<LabeledGraph> = (0..3).map(|_| path(&[3, 3, 3, 3])).collect();
+        let mut members: Vec<(GraphId, &LabeledGraph)> = Vec::new();
+        for (i, g) in family_a.iter().enumerate() {
+            members.push((gid(i as u64), g));
+        }
+        for (i, g) in family_b.iter().enumerate() {
+            members.push((gid(10 + i as u64), g));
+        }
+        let groups = fine_cluster(&members, 3, 2000);
+        assert_eq!(groups.len(), 2);
+        for group in &groups {
+            let in_a = group.iter().filter(|id| id.0 < 10).count();
+            assert!(
+                in_a == 0 || in_a == group.len(),
+                "families must not mix: {groups:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_size_panics() {
+        let a = path(&[0, 1]);
+        fine_cluster(&[(gid(1), &a)], 0, 100);
+    }
+}

@@ -1,0 +1,233 @@
+//! k-means over sparse binary feature vectors, seeded with k-means++
+//! (§2.3; Arthur & Vassilvitskii \[8\]).
+//!
+//! Dimensions are few (one per frequent (closed) tree), so centroids are
+//! dense `f64` vectors. All randomness is seeded.
+
+use crate::features::FeatureVector;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KmeansResult {
+    /// Cluster index for every input vector.
+    pub assignment: Vec<usize>,
+    /// Final centroids (dense, one per cluster).
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Squared Euclidean distance between a dense centroid and a binary vector.
+///
+/// `dist² = Σ c_j² + Σ_{j active} (1 − 2 c_j)`, computed with a precomputed
+/// `Σ c_j²` (`centroid_norm2`).
+pub fn dist2_to_centroid(centroid: &[f64], centroid_norm2: f64, v: &FeatureVector) -> f64 {
+    let mut d = centroid_norm2;
+    for &j in &v.0 {
+        let c = centroid[j as usize];
+        d += 1.0 - 2.0 * c;
+    }
+    d.max(0.0)
+}
+
+fn norm2(c: &[f64]) -> f64 {
+    c.iter().map(|x| x * x).sum()
+}
+
+/// Runs k-means++ / Lloyd on `vectors` with `dims` dimensions.
+///
+/// `k` is clamped to the number of vectors. Empty input yields an empty
+/// result. Iteration stops when assignments stabilize or after
+/// `max_iterations`.
+pub fn kmeans(
+    vectors: &[FeatureVector],
+    dims: usize,
+    k: usize,
+    seed: u64,
+    max_iterations: usize,
+) -> KmeansResult {
+    let n = vectors.len();
+    if n == 0 || k == 0 {
+        return KmeansResult {
+            assignment: vec![0; n],
+            centroids: Vec::new(),
+            iterations: 0,
+        };
+    }
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding over the binary vectors.
+    let mut seeds: Vec<usize> = Vec::with_capacity(k);
+    seeds.push(rng.random_range(0..n));
+    let mut best_d2: Vec<f64> = vectors
+        .iter()
+        .map(|v| v.dist2(&vectors[seeds[0]]))
+        .collect();
+    while seeds.len() < k {
+        let total: f64 = best_d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            // All points coincide with some seed; pick uniformly.
+            rng.random_range(0..n)
+        } else {
+            let mut cut: f64 = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &d) in best_d2.iter().enumerate() {
+                if cut < d {
+                    chosen = i;
+                    break;
+                }
+                cut -= d;
+            }
+            chosen
+        };
+        seeds.push(next);
+        for (i, v) in vectors.iter().enumerate() {
+            let d = v.dist2(&vectors[next]);
+            if d < best_d2[i] {
+                best_d2[i] = d;
+            }
+        }
+    }
+    let mut centroids: Vec<Vec<f64>> = seeds
+        .iter()
+        .map(|&s| {
+            let mut c = vec![0.0; dims];
+            for &j in &vectors[s].0 {
+                c[j as usize] = 1.0;
+            }
+            c
+        })
+        .collect();
+
+    let mut assignment = vec![usize::MAX; n];
+    let mut iterations = 0;
+    for _ in 0..max_iterations {
+        iterations += 1;
+        // Assign.
+        let norms: Vec<f64> = centroids.iter().map(|c| norm2(c)).collect();
+        let mut changed = false;
+        for (i, v) in vectors.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2_to_centroid(&centroids[a], norms[a], v)
+                        .partial_cmp(&dist2_to_centroid(&centroids[b], norms[b], v))
+                        .expect("distances are finite")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, v) in vectors.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for &j in &v.0 {
+                sums[assignment[i]][j as usize] += 1.0;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                for (cj, sj) in c.iter_mut().zip(sum) {
+                    *cj = sj / *count as f64;
+                }
+            }
+            // Empty clusters keep their old centroid (k-means++ seeding makes
+            // this rare; they may be re-populated next round).
+        }
+    }
+
+    KmeansResult {
+        assignment,
+        centroids,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(dims: &[u32]) -> FeatureVector {
+        FeatureVector(dims.to_vec())
+    }
+
+    #[test]
+    fn two_obvious_clusters_separate() {
+        // Group A active in dims {0,1}; group B in dims {8,9}.
+        let vectors = vec![
+            v(&[0, 1]),
+            v(&[0, 1]),
+            v(&[0]),
+            v(&[8, 9]),
+            v(&[9]),
+            v(&[8, 9]),
+        ];
+        let result = kmeans(&vectors, 10, 2, 42, 50);
+        assert_eq!(result.assignment.len(), 6);
+        let a = result.assignment[0];
+        assert_eq!(result.assignment[1], a);
+        assert_eq!(result.assignment[2], a);
+        let b = result.assignment[3];
+        assert_ne!(a, b);
+        assert_eq!(result.assignment[4], b);
+        assert_eq!(result.assignment[5], b);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let vectors = vec![v(&[0]), v(&[1])];
+        let result = kmeans(&vectors, 2, 10, 1, 10);
+        assert_eq!(result.centroids.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let result = kmeans(&[], 5, 3, 1, 10);
+        assert!(result.assignment.is_empty());
+        assert!(result.centroids.is_empty());
+    }
+
+    #[test]
+    fn identical_points_one_effective_cluster() {
+        let vectors = vec![v(&[1, 2]); 5];
+        let result = kmeans(&vectors, 4, 2, 7, 10);
+        // All points end in the same cluster (ties resolve identically).
+        assert!(result.assignment.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let vectors = vec![v(&[0]), v(&[0, 1]), v(&[5]), v(&[5, 6]), v(&[2])];
+        let a = kmeans(&vectors, 8, 2, 9, 50);
+        let b = kmeans(&vectors, 8, 2, 9, 50);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn centroid_distance_formula() {
+        let centroid = vec![0.5, 0.0, 1.0];
+        let n2 = norm2(&centroid);
+        let x = v(&[0, 2]);
+        // dist² = (0.5-1)² + 0² + (1-1)² = 0.25
+        assert!((dist2_to_centroid(&centroid, n2, &x) - 0.25).abs() < 1e-12);
+        let y = v(&[1]);
+        // dist² = 0.25 + 1 + 1 = 2.25
+        assert!((dist2_to_centroid(&centroid, n2, &y) - 2.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_one_groups_everything() {
+        let vectors = vec![v(&[0]), v(&[3]), v(&[7])];
+        let result = kmeans(&vectors, 8, 1, 3, 10);
+        assert!(result.assignment.iter().all(|&a| a == 0));
+    }
+}

@@ -1,0 +1,648 @@
+//! The MIDAS framework — Algorithm 1 end to end.
+//!
+//! [`Midas`] owns the database and every derived structure (FCT lattice,
+//! edge catalog, clusters + CSGs, graphlet monitor, FCT-/IFE-Index, and the
+//! canned pattern set). [`Midas::apply_batch`] is Algorithm 1:
+//!
+//! 1. capture `ψ_D`, apply `ΔD` to the database;
+//! 2. maintain the FCT state (§4.2) and the edge catalog;
+//! 3. assign `Δ⁺` to clusters / remove `Δ⁻` (§4.3), with CSG updates
+//!    (§4.4) and fine re-clustering along the way;
+//! 4. maintain the indices (§5.1);
+//! 5. classify the modification by graphlet drift (§3.4); for a **major**
+//!    one, generate promising candidates from dirty CSGs (§5.2) and run
+//!    the multi-scan swap (§6.2).
+//!
+//! Every phase is timed; the report exposes PMT (total) and PGT
+//! (candidate generation + swapping), the quantities §7 plots.
+
+use crate::candidate_gen::{coverage_state, generate_promising_candidates, GenerationParams};
+use crate::config::MidasConfig;
+use crate::metrics::ScovContext;
+use crate::monitor::{classify, GraphletMonitor, Modification};
+use crate::patterns::PatternStore;
+use crate::sampling::sample_database;
+use crate::swap::{multi_scan_swap, SwapParams};
+use midas_catapult::score::SetQuality;
+use midas_catapult::{select_patterns, WeightedCsg};
+use midas_cluster::{ClusterSet, FeatureSpace};
+use midas_graph::{BatchUpdate, GraphDb, GraphId, LabeledGraph};
+use midas_index::{FctIndex, IfeIndex, PatternId};
+use midas_mining::incremental::FctState;
+use midas_mining::TreeKey;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a batch was classified and handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModificationKind {
+    /// Type 1: patterns were maintained.
+    Major,
+    /// Type 2: only clusters/CSGs/indices were maintained.
+    Minor,
+}
+
+/// Timing and outcome report for one batch (the measurements of §7).
+#[derive(Debug, Clone)]
+pub struct MaintenanceReport {
+    /// Major or minor modification.
+    pub kind: ModificationKind,
+    /// Graphlet-distribution distance `dist(ψ_D, ψ_{D⊕ΔD})`.
+    pub distance: f64,
+    /// Total pattern maintenance time (PMT).
+    pub pattern_maintenance_time: Duration,
+    /// Cluster + CSG maintenance time.
+    pub clustering_time: Duration,
+    /// FCT maintenance time.
+    pub fct_time: Duration,
+    /// Index maintenance time.
+    pub index_time: Duration,
+    /// Candidate generation time (half of PGT).
+    pub candidate_time: Duration,
+    /// Swap time (the other half of PGT).
+    pub swap_time: Duration,
+    /// Number of promising candidates generated.
+    pub candidates_generated: usize,
+    /// Number of swaps performed.
+    pub swaps: usize,
+}
+
+impl MaintenanceReport {
+    /// Pattern generation time PGT = candidate generation + swapping
+    /// (Exp 1's definition).
+    pub fn pattern_generation_time(&self) -> Duration {
+        self.candidate_time + self.swap_time
+    }
+}
+
+/// The MIDAS framework state.
+pub struct Midas {
+    config: MidasConfig,
+    db: GraphDb,
+    fct_state: FctState,
+    clusters: ClusterSet,
+    monitor: GraphletMonitor,
+    fct_index: FctIndex,
+    ife_index: IfeIndex,
+    patterns: PatternStore,
+    batch_counter: u64,
+}
+
+impl Midas {
+    /// Bootstraps MIDAS on an initial database: mines the FCT state,
+    /// clusters with FCT features (the CATAPULT++ configuration), selects
+    /// the initial pattern set, and builds both indices.
+    ///
+    /// Returns `Err` only if the database is empty.
+    pub fn bootstrap(db: GraphDb, config: MidasConfig) -> Result<Self, String> {
+        if db.is_empty() {
+            return Err("cannot bootstrap MIDAS on an empty database".into());
+        }
+        let fct_state = FctState::build(&db, config.mining());
+        let space = FeatureSpace::from_fct(&fct_state.lattice, config.sup_min, db.len());
+        let clusters = ClusterSet::build(&db, &fct_state.lattice, space, config.clustering());
+        let patterns = PatternStore::from_patterns(select_patterns(
+            &clusters,
+            &fct_state.edges,
+            db.len(),
+            &config.selection(),
+        ));
+        let monitor = GraphletMonitor::build(&db);
+        let (fct_index, ife_index) = build_indices(&db, &fct_state, &patterns, &config);
+        let mut midas = Midas {
+            config,
+            db,
+            fct_state,
+            clusters,
+            monitor,
+            fct_index,
+            ife_index,
+            patterns,
+            batch_counter: 0,
+        };
+        midas.clusters.take_dirty(); // fresh clusters are not "modified"
+        Ok(midas)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MidasConfig {
+        &self.config
+    }
+
+    /// The current database.
+    pub fn db(&self) -> &GraphDb {
+        &self.db
+    }
+
+    /// The current canned pattern set.
+    pub fn patterns(&self) -> Vec<LabeledGraph> {
+        self.patterns.graphs()
+    }
+
+    /// The maintained small-pattern strip (single frequent edges), empty
+    /// unless `config.small_pattern_slots > 0`. Refreshed from the edge
+    /// catalog, so it is always consistent with the current database —
+    /// the η_min ≤ 2 maintenance of §3.1's Remark.
+    pub fn small_patterns(&self) -> Vec<LabeledGraph> {
+        crate::small_patterns::small_pattern_set(
+            &self.fct_state.edges,
+            self.config.small_pattern_slots,
+        )
+    }
+
+    /// The pattern store (ids + graphs).
+    pub fn pattern_store(&self) -> &PatternStore {
+        &self.patterns
+    }
+
+    /// The cluster set.
+    pub fn clusters(&self) -> &ClusterSet {
+        &self.clusters
+    }
+
+    /// The FCT state (lattice + edge catalog).
+    pub fn fct_state(&self) -> &FctState {
+        &self.fct_state
+    }
+
+    /// The FCT-Index.
+    pub fn fct_index(&self) -> &FctIndex {
+        &self.fct_index
+    }
+
+    /// The IFE-Index.
+    pub fn ife_index(&self) -> &IfeIndex {
+        &self.ife_index
+    }
+
+    /// Pattern-set quality over a fresh sample of the current database.
+    pub fn quality(&self) -> SetQuality {
+        let sample = self.sample();
+        crate::metrics::quality_of(
+            &self.patterns.graphs(),
+            &self.db,
+            &self.fct_state.edges,
+            &sample,
+        )
+    }
+
+    fn sample(&self) -> BTreeSet<GraphId> {
+        sample_database(
+            &self.db,
+            &self.clusters,
+            self.config.sample_size,
+            self.config.seed ^ self.batch_counter,
+        )
+    }
+
+    /// Applies one batch update — Algorithm 1.
+    pub fn apply_batch(&mut self, update: BatchUpdate) -> MaintenanceReport {
+        self.apply_batch_with_strategy(update, SwapStrategy::MultiScan)
+    }
+
+    /// Applies a batch with an explicit swap strategy (the *Random*
+    /// baseline reuses the entire pipeline with random swapping).
+    pub fn apply_batch_with_strategy(
+        &mut self,
+        update: BatchUpdate,
+        strategy: SwapStrategy,
+    ) -> MaintenanceReport {
+        let total_start = Instant::now();
+        self.batch_counter += 1;
+        let psi_before = self.monitor.distribution();
+
+        // Capture Δ⁻ graphs before they leave the database.
+        let deleted_graphs: Vec<(GraphId, Arc<LabeledGraph>)> = update
+            .delete
+            .iter()
+            .filter_map(|&id| self.db.get(id).map(|g| (id, g.clone())))
+            .collect();
+        let (inserted, deleted_ids) = self.db.apply(update);
+
+        // Graphlet monitor (lines 3–4).
+        for &id in &deleted_ids {
+            self.monitor.remove_graph(id);
+        }
+        for &id in &inserted {
+            self.monitor
+                .add_graph(id, self.db.get(id).expect("inserted id"));
+        }
+        let psi_after = self.monitor.distribution();
+
+        // FCT maintenance (line 5).
+        let fct_start = Instant::now();
+        let deleted_refs: Vec<(GraphId, &LabeledGraph)> = deleted_graphs
+            .iter()
+            .map(|(id, g)| (*id, g.as_ref()))
+            .collect();
+        self.fct_state
+            .apply_batch(&self.db, &inserted, &deleted_refs);
+        let fct_time = fct_start.elapsed();
+
+        // Cluster + CSG maintenance (lines 1–2, 6–7).
+        let cluster_start = Instant::now();
+        for (id, g) in &deleted_graphs {
+            self.clusters.remove(*id, g);
+        }
+        for &id in &inserted {
+            let graph = self.db.get(id).expect("inserted id").clone();
+            self.clusters
+                .assign(&self.db, &self.fct_state.lattice, id, &graph);
+        }
+        let clustering_time = cluster_start.elapsed();
+
+        // Index maintenance (line 12 — we keep indices fresh every batch so
+        // minor modifications leave them consistent too).
+        let index_start = Instant::now();
+        self.maintain_indices(&inserted, &deleted_ids);
+        let index_time = index_start.elapsed();
+
+        // Classification (line 8).
+        let (kind, distance) = classify(&psi_before, &psi_after, self.config.epsilon);
+        let mut candidate_time = Duration::ZERO;
+        let mut swap_time = Duration::ZERO;
+        let mut candidates_generated = 0;
+        let mut swaps = 0;
+        if kind == Modification::Major && !self.patterns.is_empty() {
+            // Candidate generation from dirty CSGs (§5, lines 9–10).
+            let cand_start = Instant::now();
+            let dirty = self.clusters.take_dirty();
+            let sample = self.sample();
+            // The swap step mutates the indices' pattern columns while the
+            // scoring context reads feature rows; a snapshot keeps borrows
+            // disjoint (feature rows do not change during swapping).
+            let fct_snapshot = self.fct_index.clone();
+            let ife_snapshot = self.ife_index.clone();
+            let ctx = ScovContext {
+                fct: &fct_snapshot,
+                ife: &ife_snapshot,
+                db: &self.db,
+                sample: &sample,
+                catalog: &self.fct_state.edges,
+            };
+            let csgs: Vec<WeightedCsg> = dirty
+                .iter()
+                .filter_map(|&cid| self.clusters.get(cid))
+                .map(|c| WeightedCsg::build(c.csg(), &self.fct_state.edges, self.db.len()))
+                .collect();
+            let state = coverage_state(&self.patterns, &ctx);
+            let params = GenerationParams {
+                budget: self.config.budget,
+                walks: self.config.walks,
+                walk_length: self.config.walk_length,
+                seeds_per_size: self.config.seeds_per_size,
+                kappa: self.config.kappa,
+            };
+            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (self.batch_counter << 16));
+            let candidates = generate_promising_candidates(
+                &csgs,
+                &self.patterns,
+                &ctx,
+                &state,
+                &params,
+                &mut rng,
+            );
+            candidates_generated = candidates.len();
+            candidate_time = cand_start.elapsed();
+
+            // Swapping (§6).
+            let swap_start = Instant::now();
+            swaps = match strategy {
+                SwapStrategy::MultiScan => {
+                    let outcome = multi_scan_swap(
+                        &mut self.patterns,
+                        candidates,
+                        &ctx,
+                        &SwapParams {
+                            kappa: self.config.kappa,
+                            lambda: self.config.lambda,
+                            ks_alpha: self.config.ks_alpha,
+                            ..SwapParams::default()
+                        },
+                        &mut self.fct_index,
+                        &mut self.ife_index,
+                    );
+                    outcome.swaps
+                }
+                SwapStrategy::Random => self.random_swap(candidates, &mut rng),
+            };
+            swap_time = swap_start.elapsed();
+        }
+        // On a minor modification the dirty flags are deliberately *kept*:
+        // clusters stay marked as modified until the next major round
+        // consumes them, so candidate generation sees every cluster that
+        // changed since patterns were last maintained (§4.3, §5).
+
+        MaintenanceReport {
+            kind: match kind {
+                Modification::Major => ModificationKind::Major,
+                Modification::Minor => ModificationKind::Minor,
+            },
+            distance,
+            pattern_maintenance_time: total_start.elapsed(),
+            clustering_time,
+            fct_time,
+            index_time,
+            candidate_time,
+            swap_time,
+            candidates_generated,
+            swaps,
+        }
+    }
+
+    /// The *Random* baseline's swap step: each candidate replaces a
+    /// uniformly random pattern, no criteria checked.
+    fn random_swap(&mut self, candidates: Vec<LabeledGraph>, rng: &mut StdRng) -> usize {
+        use rand::RngExt;
+        let mut swaps = 0;
+        for candidate in candidates {
+            if self.patterns.is_empty() {
+                break;
+            }
+            let ids: Vec<PatternId> = self.patterns.iter().map(|(id, _)| id).collect();
+            let victim = ids[rng.random_range(0..ids.len())];
+            self.patterns.remove(victim);
+            self.fct_index.remove_pattern(victim);
+            self.ife_index.remove_pattern(victim);
+            if let Some(new_id) = self.patterns.insert(candidate.clone()) {
+                self.fct_index.add_pattern(new_id, &candidate);
+                self.ife_index.add_pattern(new_id, &candidate);
+                swaps += 1;
+            }
+        }
+        swaps
+    }
+
+    /// Refreshes both indices after a batch: graph columns for `Δ⁺`/`Δ⁻`
+    /// and feature rows against the current FCT ∪ frequent-edge set.
+    fn maintain_indices(&mut self, inserted: &[GraphId], deleted: &[GraphId]) {
+        for &id in deleted {
+            self.fct_index.remove_graph(id);
+            self.ife_index.remove_graph(id);
+        }
+        for &id in inserted {
+            let graph = self.db.get(id).expect("inserted id").clone();
+            self.fct_index.add_graph(id, &graph);
+            self.ife_index.add_graph(id, &graph);
+        }
+        // Feature rows: FCT ∪ E_freq (Def. 5.1); IFE rows: E_inf (Def. 5.2).
+        let db_len = self.db.len();
+        let fct_trees: Vec<(TreeKey, LabeledGraph)> = self
+            .fct_state
+            .fct(db_len)
+            .into_iter()
+            .map(|(k, e)| (k.clone(), e.tree.clone()))
+            .collect();
+        let freq_edges: Vec<(TreeKey, LabeledGraph)> = self
+            .fct_state
+            .edges
+            .frequent(self.config.sup_min, db_len)
+            .into_iter()
+            .map(|(label, _)| {
+                let tree = midas_mining::canonical::edge_tree(label.0, label.1);
+                (midas_mining::tree_key(&tree), tree)
+            })
+            .collect();
+        let mut target: Vec<(TreeKey, &LabeledGraph)> = Vec::new();
+        for (k, t) in fct_trees.iter().chain(freq_edges.iter()) {
+            if !target.iter().any(|(existing, _)| existing == k) {
+                target.push((k.clone(), t));
+            }
+        }
+        let graph_refs: Vec<(GraphId, &LabeledGraph)> = self
+            .db
+            .iter()
+            .map(|(id, g)| (id, g.as_ref()))
+            .collect();
+        let pattern_refs: Vec<(PatternId, &LabeledGraph)> = self.patterns.iter().collect();
+        self.fct_index.refresh_features(
+            &target,
+            graph_refs.iter().copied(),
+            pattern_refs.iter().copied(),
+        );
+        let infrequent: BTreeSet<midas_graph::EdgeLabel> = self
+            .fct_state
+            .edges
+            .infrequent(self.config.sup_min, db_len)
+            .into_iter()
+            .map(|(label, _)| label)
+            .collect();
+        self.ife_index.refresh_edges(
+            infrequent,
+            graph_refs.iter().copied(),
+            pattern_refs.iter().copied(),
+        );
+    }
+}
+
+/// Which swap step to run on a major modification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapStrategy {
+    /// MIDAS's multi-scan swap (§6.2).
+    MultiScan,
+    /// The *Random* baseline: candidates replace random patterns.
+    Random,
+}
+
+fn build_indices(
+    db: &GraphDb,
+    fct_state: &FctState,
+    patterns: &PatternStore,
+    config: &MidasConfig,
+) -> (FctIndex, IfeIndex) {
+    let db_len = db.len();
+    let graph_refs: Vec<(GraphId, &LabeledGraph)> =
+        db.iter().map(|(id, g)| (id, g.as_ref())).collect();
+    let pattern_refs: Vec<(PatternId, &LabeledGraph)> = patterns.iter().collect();
+    let fct_trees: Vec<(TreeKey, LabeledGraph)> = fct_state
+        .fct(db_len)
+        .into_iter()
+        .map(|(k, e)| (k.clone(), e.tree.clone()))
+        .collect();
+    let freq_edges: Vec<(TreeKey, LabeledGraph)> = fct_state
+        .edges
+        .frequent(config.sup_min, db_len)
+        .into_iter()
+        .map(|(label, _)| {
+            let tree = midas_mining::canonical::edge_tree(label.0, label.1);
+            (midas_mining::tree_key(&tree), tree)
+        })
+        .collect();
+    let mut seen = BTreeSet::new();
+    let mut features: Vec<(TreeKey, &LabeledGraph)> = Vec::new();
+    for (k, t) in fct_trees.iter().chain(freq_edges.iter()) {
+        if seen.insert(k.clone()) {
+            features.push((k.clone(), t));
+        }
+    }
+    let fct_index = FctIndex::build(
+        features,
+        graph_refs.iter().copied(),
+        pattern_refs.iter().copied(),
+    );
+    let infrequent: BTreeSet<midas_graph::EdgeLabel> = fct_state
+        .edges
+        .infrequent(config.sup_min, db_len)
+        .into_iter()
+        .map(|(label, _)| label)
+        .collect();
+    let ife_index = IfeIndex::build(
+        infrequent,
+        graph_refs.iter().copied(),
+        pattern_refs.iter().copied(),
+    );
+    (fct_index, ife_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn seed_db() -> GraphDb {
+        // C-O-N-C chains with some variety; big enough to mine and select.
+        GraphDb::from_graphs((0..10).map(|i| {
+            path(&[0, 1, 2, 0, (i % 2) as u32])
+        }))
+    }
+
+    fn config() -> MidasConfig {
+        MidasConfig::small_defaults()
+    }
+
+    #[test]
+    fn bootstrap_selects_initial_patterns() {
+        let midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        assert!(!midas.patterns().is_empty());
+        assert!(midas.patterns().len() <= config().budget.gamma);
+        for p in midas.patterns() {
+            assert!(p.is_connected());
+        }
+        assert!(midas.fct_index().feature_count() > 0);
+    }
+
+    #[test]
+    fn bootstrap_rejects_empty_db() {
+        assert!(Midas::bootstrap(GraphDb::new(), config()).is_err());
+    }
+
+    #[test]
+    fn minor_modification_keeps_patterns() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let before = midas.patterns();
+        // Insert more graphs of the same shape: graphlet drift ~ 0.
+        let update = BatchUpdate::insert_only(vec![
+            path(&[0, 1, 2, 0, 0]),
+            path(&[0, 1, 2, 0, 1]),
+        ]);
+        let report = midas.apply_batch(update);
+        assert_eq!(report.kind, ModificationKind::Minor, "d = {}", report.distance);
+        assert_eq!(midas.patterns(), before);
+        assert_eq!(report.swaps, 0);
+        // But the substrate was maintained.
+        assert_eq!(midas.db().len(), 12);
+        assert_eq!(midas.clusters().total_members(), 12);
+    }
+
+    #[test]
+    fn major_modification_triggers_pattern_maintenance() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        // A novel dense family: triangles of S.
+        let triangle = GraphBuilder::new()
+            .vertices(&[3, 3, 3, 3])
+            .path(&[0, 1, 2, 3])
+            .edge(0, 2)
+            .edge(1, 3)
+            .edge(0, 3)
+            .build();
+        let update = BatchUpdate::insert_only(vec![triangle; 12]);
+        let report = midas.apply_batch(update);
+        assert_eq!(report.kind, ModificationKind::Major, "d = {}", report.distance);
+        // Candidate generation ran (swaps may or may not pass criteria).
+        assert!(report.pattern_maintenance_time >= report.pattern_generation_time());
+    }
+
+    #[test]
+    fn quality_never_degrades_across_major_batches() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let before = midas.quality();
+        let novel: Vec<LabeledGraph> = (0..14).map(|_| path(&[3, 4, 3, 4, 3])).collect();
+        let report = midas.apply_batch(BatchUpdate::insert_only(novel));
+        let after = midas.quality();
+        if report.swaps > 0 {
+            // sw1–sw5 are sample-relative; the invariant we can assert
+            // globally is that diversity and cognitive load did not worsen.
+            assert!(after.div >= before.div - 1e-9);
+            assert!(after.cog <= before.cog + 1e-9);
+        }
+        assert_eq!(midas.patterns().len(), midas.pattern_store().len());
+    }
+
+    #[test]
+    fn deletion_batches_are_handled() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let victim = midas.db().ids().next().unwrap();
+        let report = midas.apply_batch(BatchUpdate::delete_only(vec![victim]));
+        assert_eq!(midas.db().len(), 9);
+        assert!(!midas.db().contains(victim));
+        assert_eq!(midas.clusters().total_members(), 9);
+        let _ = report;
+    }
+
+    #[test]
+    fn random_strategy_swaps_without_criteria() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let novel: Vec<LabeledGraph> = (0..14).map(|_| path(&[3, 4, 3, 4, 3])).collect();
+        let report = midas
+            .apply_batch_with_strategy(BatchUpdate::insert_only(novel), SwapStrategy::Random);
+        // With candidates present, random swapping must swap.
+        if report.candidates_generated > 0 {
+            assert!(report.swaps > 0);
+        }
+    }
+
+    #[test]
+    fn small_pattern_strip_tracks_the_catalog() {
+        let mut cfg = config();
+        cfg.small_pattern_slots = 3;
+        let mut midas = Midas::bootstrap(seed_db(), cfg).unwrap();
+        let strip = midas.small_patterns();
+        assert_eq!(strip.len(), 3);
+        assert!(strip.iter().all(|p| p.edge_count() == 1));
+        // A wave of S-S edges must surface in the strip after maintenance.
+        let wave: Vec<LabeledGraph> = (0..30).map(|_| path(&[3, 3, 3])).collect();
+        midas.apply_batch(BatchUpdate::insert_only(wave));
+        let strip = midas.small_patterns();
+        assert!(
+            strip
+                .iter()
+                .any(|p| p.sorted_labels() == vec![3, 3]),
+            "S-S should rank into the refreshed strip: {strip:?}"
+        );
+        // Disabled by default.
+        let plain = Midas::bootstrap(seed_db(), config()).unwrap();
+        assert!(plain.small_patterns().is_empty());
+    }
+
+    #[test]
+    fn reports_time_phases_nest() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let report = midas.apply_batch(BatchUpdate::insert_only(vec![path(&[0, 1, 2])]));
+        let parts = report.clustering_time
+            + report.fct_time
+            + report.index_time
+            + report.candidate_time
+            + report.swap_time;
+        assert!(
+            report.pattern_maintenance_time >= parts.saturating_sub(Duration::from_millis(1))
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Two-sample Kolmogorov–Smirnov test on pattern-size distributions (§6.2).
+//!
+//! A swap is admissible only when the size distribution of
+//! `P \ {p} ∪ {p_c}` is not significantly different from that of `P` —
+//! MIDAS uses the classical two-sample KS test for this guard.
+
+/// The two-sample KS statistic `D = sup |F₁(x) − F₂(x)|` over integer
+/// samples (pattern sizes). Empty samples yield 0.
+pub fn ks_statistic(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut xs: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_unstable();
+    sb.sort_unstable();
+    let cdf = |sorted: &[usize], x: usize| -> f64 {
+        let pos = sorted.partition_point(|&v| v <= x);
+        pos as f64 / sorted.len() as f64
+    };
+    xs.iter()
+        .map(|&x| (cdf(&sa, x) - cdf(&sb, x)).abs())
+        .fold(0.0, f64::max)
+}
+
+/// The critical value `c(α) · √((n + m) / (n·m))` of the asymptotic
+/// two-sample KS test.
+pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    if n == 0 || m == 0 {
+        return f64::INFINITY;
+    }
+    // c(α) = sqrt(-ln(α/2) / 2); c(0.05) ≈ 1.358.
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    c * (((n + m) as f64) / ((n * m) as f64)).sqrt()
+}
+
+/// Returns `true` when the two samples are **similar** at level `alpha`
+/// (the KS statistic does not exceed the critical value) — the condition
+/// under which MIDAS allows a swap.
+pub fn distributions_similar(a: &[usize], b: &[usize], alpha: f64) -> bool {
+    ks_statistic(a, b) <= ks_critical_value(a.len(), b.len(), alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [3, 4, 4, 5, 6];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+        assert!(distributions_similar(&a, &a, 0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1, 1, 2];
+        let b = [9, 9, 10];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_statistic_value() {
+        // F_a jumps to 1 at 1; F_b jumps 0.5 at 1, 1.0 at 2.
+        let a = [1, 1];
+        let b = [1, 2];
+        assert!((ks_statistic(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_value_shrinks_with_sample_size() {
+        let small = ks_critical_value(5, 5, 0.05);
+        let large = ks_critical_value(100, 100, 0.05);
+        assert!(small > large);
+        assert!(ks_critical_value(0, 5, 0.05).is_infinite());
+    }
+
+    #[test]
+    fn one_element_swap_is_similar_for_gamma_30() {
+        // γ = 30 patterns; replacing one size-3 with a size-12 should not
+        // trip the guard.
+        let mut a = vec![3; 10];
+        a.extend(vec![6; 10]);
+        a.extend(vec![9; 10]);
+        let mut b = a.clone();
+        b[0] = 12;
+        assert!(distributions_similar(&a, &b, 0.05));
+    }
+
+    #[test]
+    fn wholesale_shift_is_dissimilar() {
+        let a = vec![3; 30];
+        let b = vec![12; 30];
+        assert!(!distributions_similar(&a, &b, 0.05));
+    }
+
+    #[test]
+    fn empty_samples_are_trivially_similar() {
+        assert!(distributions_similar(&[], &[1, 2], 0.05));
+        assert_eq!(ks_statistic(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [3, 5, 5, 8];
+        let b = [4, 4, 9];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-15);
+    }
+}

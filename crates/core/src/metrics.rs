@@ -1,0 +1,147 @@
+//! Scoring context and pattern-set quality metrics.
+//!
+//! [`ScovContext`] bundles everything needed to evaluate subgraph coverage
+//! the MIDAS way: the FCT/IFE indices for dominance filtering (§6.1) and
+//! the lazy sample `D_s` that bounds the cost.
+
+use midas_catapult::score::{diversity, lcov_pattern, pattern_score, PatternScoreParts, SetQuality};
+use midas_graph::{GraphDb, GraphId, LabeledGraph};
+use midas_index::scov::covered_graphs;
+use midas_index::{FctIndex, IfeIndex};
+use midas_mining::EdgeCatalog;
+use std::collections::BTreeSet;
+
+/// Everything needed to compute `scov` and the MIDAS pattern score `s'_p`.
+pub struct ScovContext<'a> {
+    /// The FCT-Index.
+    pub fct: &'a FctIndex,
+    /// The IFE-Index.
+    pub ife: &'a IfeIndex,
+    /// The database.
+    pub db: &'a GraphDb,
+    /// The sampled universe `D_s` (§6.1).
+    pub sample: &'a BTreeSet<GraphId>,
+    /// The edge catalog (for `lcov`).
+    pub catalog: &'a EdgeCatalog,
+}
+
+impl ScovContext<'_> {
+    /// The sampled graphs containing `pattern`.
+    pub fn covered(&self, pattern: &LabeledGraph) -> BTreeSet<GraphId> {
+        covered_graphs(self.fct, self.ife, self.db, pattern, self.sample)
+    }
+
+    /// `scov(p, D_s) = |G_p ∩ D_s| / |D_s|`.
+    pub fn scov(&self, pattern: &LabeledGraph) -> f64 {
+        if self.sample.is_empty() {
+            return 0.0;
+        }
+        self.covered(pattern).len() as f64 / self.sample.len() as f64
+    }
+
+    /// The MIDAS pattern score `s'_p = scov × lcov × div / cog` (§6.1),
+    /// with diversity measured against `others`.
+    pub fn midas_score(&self, pattern: &LabeledGraph, others: &[LabeledGraph]) -> f64 {
+        pattern_score(PatternScoreParts {
+            coverage: self.scov(pattern),
+            lcov: lcov_pattern(pattern, self.catalog, self.db.len()),
+            div: diversity(pattern, others),
+            cog: pattern.cognitive_load(),
+        })
+    }
+}
+
+/// Pattern-set quality `(f_scov, f_lcov, f_div, f_cog)` over an explicit
+/// universe — re-exported convenience over
+/// [`midas_catapult::score::set_quality`].
+pub fn quality_of(
+    patterns: &[LabeledGraph],
+    db: &GraphDb,
+    catalog: &EdgeCatalog,
+    universe: &BTreeSet<GraphId>,
+) -> SetQuality {
+    midas_catapult::score::set_quality(patterns, db, catalog, universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+    use midas_index::PatternId;
+    use midas_mining::tree_key;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    struct World {
+        db: GraphDb,
+        fct: FctIndex,
+        ife: IfeIndex,
+        catalog: EdgeCatalog,
+    }
+
+    fn world() -> World {
+        let db = GraphDb::from_graphs([
+            path(&[0, 1, 2]),
+            path(&[0, 1]),
+            path(&[3, 4]),
+        ]);
+        let refs: Vec<(GraphId, &LabeledGraph)> =
+            db.iter().map(|(id, g)| (id, g.as_ref())).collect();
+        let feature = path(&[0, 1]);
+        let fct = FctIndex::build(
+            [(tree_key(&feature), &feature)],
+            refs.iter().copied(),
+            std::iter::empty::<(PatternId, &LabeledGraph)>(),
+        );
+        let ife = IfeIndex::build(
+            BTreeSet::new(),
+            refs.iter().copied(),
+            std::iter::empty::<(PatternId, &LabeledGraph)>(),
+        );
+        let catalog = EdgeCatalog::build(refs.iter().copied());
+        World {
+            db,
+            fct,
+            ife,
+            catalog,
+        }
+    }
+
+    #[test]
+    fn scov_over_sample() {
+        let w = world();
+        let sample: BTreeSet<GraphId> = w.db.ids().collect();
+        let ctx = ScovContext {
+            fct: &w.fct,
+            ife: &w.ife,
+            db: &w.db,
+            sample: &sample,
+            catalog: &w.catalog,
+        };
+        assert!((ctx.scov(&path(&[0, 1])) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ctx.scov(&path(&[7, 7])), 0.0);
+        let empty = BTreeSet::new();
+        let ctx2 = ScovContext { sample: &empty, ..ctx };
+        assert_eq!(ctx2.scov(&path(&[0, 1])), 0.0);
+    }
+
+    #[test]
+    fn midas_score_is_positive_for_covered_patterns() {
+        let w = world();
+        let sample: BTreeSet<GraphId> = w.db.ids().collect();
+        let ctx = ScovContext {
+            fct: &w.fct,
+            ife: &w.ife,
+            db: &w.db,
+            sample: &sample,
+            catalog: &w.catalog,
+        };
+        let s = ctx.midas_score(&path(&[0, 1]), &[path(&[3, 4])]);
+        assert!(s > 0.0);
+        // Uncovered pattern scores zero via the coverage factor.
+        assert_eq!(ctx.midas_score(&path(&[7, 7]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! The graphlet-frequency change monitor (§3.4).
+//!
+//! `D` is viewed as one network of disconnected components; its graphlet
+//! frequency distribution `ψ_D` characterizes topology (Pržulj \[31\]).
+//! MIDAS compares `dist(ψ_D, ψ_{D⊕ΔD})` against the evolution ratio
+//! threshold `ε` to decide between a *major* (Type 1) and *minor* (Type 2)
+//! modification. Per-graph counts are cached so a batch update costs one
+//! graphlet count per touched graph.
+
+use midas_graph::graphlets::{count_graphlets, GraphletCounts, GraphletDistribution};
+use midas_graph::{GraphDb, GraphId, LabeledGraph};
+use std::collections::HashMap;
+
+/// Incrementally maintained database-level graphlet statistics.
+#[derive(Debug, Clone, Default)]
+pub struct GraphletMonitor {
+    per_graph: HashMap<GraphId, GraphletCounts>,
+    total: GraphletCounts,
+}
+
+impl GraphletMonitor {
+    /// Builds the monitor from scratch.
+    pub fn build(db: &GraphDb) -> Self {
+        let mut monitor = Self::default();
+        for (id, g) in db.iter() {
+            monitor.add_graph(id, g);
+        }
+        monitor
+    }
+
+    /// Registers an inserted graph.
+    pub fn add_graph(&mut self, id: GraphId, graph: &LabeledGraph) {
+        let counts = count_graphlets(graph);
+        self.total.add(&counts);
+        self.per_graph.insert(id, counts);
+    }
+
+    /// Unregisters a deleted graph.
+    pub fn remove_graph(&mut self, id: GraphId) {
+        if let Some(counts) = self.per_graph.remove(&id) {
+            self.total.sub(&counts);
+        }
+    }
+
+    /// The current distribution `ψ_D`.
+    pub fn distribution(&self) -> GraphletDistribution {
+        self.total.distribution()
+    }
+
+    /// The raw totals.
+    pub fn totals(&self) -> &GraphletCounts {
+        &self.total
+    }
+
+    /// Number of graphs tracked.
+    pub fn len(&self) -> usize {
+        self.per_graph.len()
+    }
+
+    /// Whether the monitor tracks no graphs.
+    pub fn is_empty(&self) -> bool {
+        self.per_graph.is_empty()
+    }
+}
+
+/// The modification classification of §3.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Modification {
+    /// Type 1 — `dist(ψ_D, ψ_{D⊕ΔD}) ≥ ε`: patterns must be maintained.
+    Major,
+    /// Type 2 — below `ε`: clusters/CSGs/indices are maintained, patterns
+    /// stay.
+    Minor,
+}
+
+/// Classifies a modification given the pre/post distributions.
+pub fn classify(
+    before: &GraphletDistribution,
+    after: &GraphletDistribution,
+    epsilon: f64,
+) -> (Modification, f64) {
+    let distance = before.euclidean_distance(after);
+    let kind = if distance >= epsilon {
+        Modification::Major
+    } else {
+        Modification::Minor
+    };
+    (kind, distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(n: usize) -> LabeledGraph {
+        let labels = vec![0u32; n];
+        let vs: Vec<u32> = (0..n as u32).collect();
+        GraphBuilder::new().vertices(&labels).path(&vs).build()
+    }
+
+    fn clique4() -> LabeledGraph {
+        let mut g = LabeledGraph::new();
+        for _ in 0..4 {
+            g.add_vertex(0);
+        }
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn build_matches_incremental() {
+        let db = GraphDb::from_graphs([path(4), path(5), clique4()]);
+        let built = GraphletMonitor::build(&db);
+        let mut incremental = GraphletMonitor::default();
+        for (id, g) in db.iter() {
+            incremental.add_graph(id, g);
+        }
+        assert_eq!(built.totals(), incremental.totals());
+        assert_eq!(built.len(), 3);
+    }
+
+    #[test]
+    fn remove_restores_previous_distribution() {
+        let mut db = GraphDb::from_graphs([path(4), path(5)]);
+        let mut monitor = GraphletMonitor::build(&db);
+        let before = *monitor.totals();
+        let id = db.insert(clique4());
+        monitor.add_graph(id, db.get(id).unwrap());
+        assert_ne!(*monitor.totals(), before);
+        monitor.remove_graph(id);
+        assert_eq!(*monitor.totals(), before);
+        // Removing an unknown id is a no-op.
+        monitor.remove_graph(GraphId(999));
+        assert_eq!(*monitor.totals(), before);
+    }
+
+    #[test]
+    fn same_distribution_growth_is_minor() {
+        let mut monitor = GraphletMonitor::default();
+        let mut db = GraphDb::new();
+        for _ in 0..10 {
+            let id = db.insert(path(5));
+            monitor.add_graph(id, db.get(id).unwrap());
+        }
+        let before = monitor.distribution();
+        for _ in 0..3 {
+            let id = db.insert(path(5));
+            monitor.add_graph(id, db.get(id).unwrap());
+        }
+        let (kind, distance) = classify(&before, &monitor.distribution(), 0.1);
+        assert_eq!(kind, Modification::Minor);
+        assert!(distance < 1e-9, "identical shapes never drift");
+    }
+
+    #[test]
+    fn topology_shift_is_major() {
+        let mut monitor = GraphletMonitor::default();
+        let mut db = GraphDb::new();
+        for _ in 0..5 {
+            let id = db.insert(path(5));
+            monitor.add_graph(id, db.get(id).unwrap());
+        }
+        let before = monitor.distribution();
+        for _ in 0..10 {
+            let id = db.insert(clique4());
+            monitor.add_graph(id, db.get(id).unwrap());
+        }
+        let (kind, distance) = classify(&before, &monitor.distribution(), 0.1);
+        assert_eq!(kind, Modification::Major, "distance {distance}");
+    }
+
+    #[test]
+    fn classification_threshold_is_inclusive() {
+        let a = GraphletCounts::default().distribution();
+        let b = a;
+        let (kind, d) = classify(&a, &b, 0.0);
+        assert_eq!(d, 0.0);
+        assert_eq!(kind, Modification::Major, "d >= ε with ε = 0");
+    }
+}

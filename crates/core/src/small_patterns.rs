@@ -1,0 +1,77 @@
+//! Maintenance of patterns with `η_min ≤ 2` — the case the paper calls
+//! straightforward and defers to its technical report (§3.1 Remark).
+//!
+//! Size-1/2 patterns are (combinations of) frequent edges, so maintaining
+//! them needs no clustering, no random walks and no swapping: the top
+//! frequent edges by support *are* the optimal small patterns for subgraph
+//! coverage, and the edge catalog already tracks every support set
+//! incrementally. [`small_pattern_set`] materializes them; the framework
+//! refreshes the set after every batch when configured with small-pattern
+//! slots.
+
+use midas_graph::LabeledGraph;
+use midas_mining::canonical::edge_tree;
+use midas_mining::EdgeCatalog;
+
+/// Returns up to `slots` single-edge patterns, ordered by descending
+/// support (ties broken by label for determinism).
+pub fn small_pattern_set(catalog: &EdgeCatalog, slots: usize) -> Vec<LabeledGraph> {
+    let mut ranked: Vec<(usize, midas_graph::EdgeLabel)> = catalog
+        .labels()
+        .map(|(label, stats)| (stats.support.len(), label))
+        .collect();
+    ranked.sort_by_key(|&(support, label)| (std::cmp::Reverse(support), label));
+    ranked
+        .into_iter()
+        .take(slots)
+        .map(|(_, label)| edge_tree(label.0, label.1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::{GraphBuilder, GraphId};
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn catalog() -> EdgeCatalog {
+        // C-O in 3 graphs, O-N in 2, N-S in 1.
+        let g1 = path(&[0, 1, 2]);
+        let g2 = path(&[0, 1, 2, 3]);
+        let g3 = path(&[0, 1]);
+        EdgeCatalog::build([(GraphId(1), &g1), (GraphId(2), &g2), (GraphId(3), &g3)])
+    }
+
+    #[test]
+    fn top_edges_by_support() {
+        let patterns = small_pattern_set(&catalog(), 2);
+        assert_eq!(patterns.len(), 2);
+        // Highest support first: C-O then O-N.
+        assert_eq!(patterns[0].sorted_labels(), vec![0, 1]);
+        assert_eq!(patterns[1].sorted_labels(), vec![1, 2]);
+        assert!(patterns.iter().all(|p| p.edge_count() == 1));
+    }
+
+    #[test]
+    fn slots_cap_and_empty_catalog() {
+        assert_eq!(small_pattern_set(&catalog(), 100).len(), 3);
+        assert!(small_pattern_set(&EdgeCatalog::default(), 5).is_empty());
+        assert!(small_pattern_set(&catalog(), 0).is_empty());
+    }
+
+    #[test]
+    fn refresh_tracks_catalog_changes() {
+        let mut cat = catalog();
+        // A wave of S-S edges overtakes everything.
+        for i in 10..20 {
+            let g = path(&[3, 3]);
+            cat.add_graph(GraphId(i), &g);
+        }
+        let patterns = small_pattern_set(&cat, 1);
+        assert_eq!(patterns[0].sorted_labels(), vec![3, 3]);
+    }
+}

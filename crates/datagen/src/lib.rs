@@ -1,0 +1,41 @@
+//! # midas-datagen
+//!
+//! Synthetic chemical-compound-like graph databases, batch updates, and
+//! query workloads for the MIDAS experiments (§7.1).
+//!
+//! The paper evaluates on AIDS, PubChem and eMolecules — repositories of
+//! small labeled molecule graphs. Those datasets are not redistributable
+//! here, so this crate generates structurally equivalent workloads: graphs
+//! are assembled from *functional-group motifs* (rings, chains, carboxyls,
+//! amines, boron groups, …) over a skewed atom-label vocabulary. That
+//! reproduces the three properties MIDAS actually depends on (see
+//! DESIGN.md §3):
+//!
+//! 1. many small labeled graphs,
+//! 2. heavy structural repetition (shared motifs ⇒ frequent closed trees
+//!    and high-coverage canned patterns),
+//! 3. skewed label frequencies.
+//!
+//! [`updates`] generates `ΔD` batches — including *novel-family* insertions
+//! that reproduce the boronic-ester distribution shift of Example 1.2 — and
+//! [`queries`] draws random connected subgraph queries, balanced over `Δ⁺`
+//! exactly as §7.1 prescribes.
+//!
+//! Everything is seeded; the same spec always yields the same dataset.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dataset;
+pub mod molecule;
+pub mod motifs;
+pub mod queries;
+pub mod updates;
+pub mod vocabulary;
+
+pub use dataset::{DatasetKind, DatasetSpec, GeneratedDataset};
+pub use molecule::{MoleculeGenerator, MoleculeParams};
+pub use motifs::{Motif, MotifKind, MotifMix};
+pub use queries::{balanced_query_set, query_set, random_connected_subgraph};
+pub use updates::{deletion_batch, growth_batch, novel_family_batch};
+pub use vocabulary::{atom, vocabulary, Atom};

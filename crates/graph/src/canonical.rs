@@ -1,0 +1,255 @@
+//! Canonical codes for small labeled graphs.
+//!
+//! Candidate patterns produced by random walks on different CSGs may be
+//! isomorphic; the selection and swapping phases must treat them as one.
+//! This module computes a canonical byte code via colour refinement plus
+//! individualization (a miniature nauty): two graphs get the same code iff
+//! they are isomorphic (respecting vertex labels).
+//!
+//! Intended for pattern-sized graphs (≤ `η_max` = 12 edges); the search is
+//! exhaustive over refinement-compatible orderings, which is tiny for sparse
+//! labeled graphs.
+
+use crate::graph::{LabeledGraph, VertexId};
+use bytes::Bytes;
+
+/// A canonical code: equal codes ⇔ isomorphic graphs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanonicalCode(pub Bytes);
+
+/// Computes the canonical code of `g`.
+pub fn canonical_code(g: &LabeledGraph) -> CanonicalCode {
+    let n = g.vertex_count();
+    if n == 0 {
+        return CanonicalCode(Bytes::new());
+    }
+    // Initial colouring by vertex label (compressed to dense ids).
+    let mut colors: Vec<u32> = {
+        let mut sorted: Vec<u32> = g.labels().to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        g.labels()
+            .iter()
+            .map(|l| sorted.binary_search(l).expect("present") as u32)
+            .collect()
+    };
+    refine(g, &mut colors);
+    let mut best: Option<Vec<u8>> = None;
+    individualize(g, &colors, &mut best);
+    CanonicalCode(Bytes::from(best.expect("at least one ordering")))
+}
+
+/// Tests isomorphism through canonical codes.
+pub fn are_isomorphic(a: &LabeledGraph, b: &LabeledGraph) -> bool {
+    a.vertex_count() == b.vertex_count()
+        && a.edge_count() == b.edge_count()
+        && a.sorted_labels() == b.sorted_labels()
+        && canonical_code(a) == canonical_code(b)
+}
+
+/// Weisfeiler–Leman colour refinement, in place, until stable.
+fn refine(g: &LabeledGraph, colors: &mut [u32]) {
+    let n = g.vertex_count();
+    loop {
+        // Signature: (own color, sorted neighbor colors).
+        let mut sigs: Vec<(u32, Vec<u32>)> = (0..n)
+            .map(|v| {
+                let mut ns: Vec<u32> = g
+                    .neighbors(v as VertexId)
+                    .iter()
+                    .map(|&w| colors[w as usize])
+                    .collect();
+                ns.sort_unstable();
+                (colors[v], ns)
+            })
+            .collect();
+        let mut sorted = sigs.clone();
+        sorted.sort();
+        sorted.dedup();
+        let new_colors: Vec<u32> = sigs
+            .drain(..)
+            .map(|s| sorted.binary_search(&s).expect("present") as u32)
+            .collect();
+        if new_colors == colors {
+            return;
+        }
+        colors.copy_from_slice(&new_colors);
+    }
+}
+
+/// Recursive individualization–refinement: at each non-discrete partition,
+/// split the first largest-ambiguity cell on each of its members, refine,
+/// recurse; at discrete partitions emit the code and keep the minimum.
+fn individualize(g: &LabeledGraph, colors: &[u32], best: &mut Option<Vec<u8>>) {
+    let n = g.vertex_count();
+    // Group vertices by color.
+    let mut by_color: std::collections::BTreeMap<u32, Vec<VertexId>> = Default::default();
+    for v in 0..n as VertexId {
+        by_color.entry(colors[v as usize]).or_default().push(v);
+    }
+    // Find first non-singleton cell.
+    let target = by_color.values().find(|cell| cell.len() > 1).cloned();
+    match target {
+        None => {
+            // Discrete: order = vertices sorted by color.
+            let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+            order.sort_by_key(|&v| colors[v as usize]);
+            let code = encode(g, &order);
+            if best.as_ref().is_none_or(|b| code < *b) {
+                *best = Some(code);
+            }
+        }
+        Some(cell) => {
+            let max_color = *by_color.keys().last().expect("non-empty") + 1;
+            for &v in &cell {
+                let mut next = colors.to_vec();
+                next[v as usize] = max_color;
+                refine(g, &mut next);
+                individualize(g, &next, best);
+            }
+        }
+    }
+}
+
+/// Serializes the graph under a vertex ordering: vertex count, labels in
+/// order, then the upper-triangular adjacency bitmap.
+fn encode(g: &LabeledGraph, order: &[VertexId]) -> Vec<u8> {
+    let n = order.len();
+    let mut out = Vec::with_capacity(4 + 4 * n + n * n / 16 + 1);
+    out.extend_from_slice(&(n as u32).to_be_bytes());
+    for &v in order {
+        out.extend_from_slice(&g.label(v).to_be_bytes());
+    }
+    let mut bitpos = 0u8;
+    let mut current = 0u8;
+    for i in 0..n {
+        for j in i + 1..n {
+            current <<= 1;
+            if g.has_edge(order[i], order[j]) {
+                current |= 1;
+            }
+            bitpos += 1;
+            if bitpos == 8 {
+                out.push(current);
+                bitpos = 0;
+                current = 0;
+            }
+        }
+    }
+    if bitpos > 0 {
+        out.push(current << (8 - bitpos));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    #[test]
+    fn permuted_graphs_share_code() {
+        // C-O-N path in two vertex orders.
+        let a = path(&[0, 1, 2]);
+        let b = GraphBuilder::new()
+            .vertices(&[2, 1, 0])
+            .edge(0, 1)
+            .edge(1, 2)
+            .build();
+        assert_eq!(canonical_code(&a), canonical_code(&b));
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        assert_ne!(
+            canonical_code(&path(&[0, 1, 2])),
+            canonical_code(&path(&[0, 1, 3]))
+        );
+    }
+
+    #[test]
+    fn different_structure_differs() {
+        let p = path(&[0, 0, 0]);
+        let t = GraphBuilder::new()
+            .vertices(&[0, 0, 0])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build();
+        assert_ne!(canonical_code(&p), canonical_code(&t));
+        assert!(!are_isomorphic(&p, &t));
+    }
+
+    #[test]
+    fn symmetric_graphs_are_handled() {
+        // A same-label 6-cycle in two different orders.
+        let mk = |perm: &[u32]| {
+            let mut g = LabeledGraph::new();
+            for _ in 0..6 {
+                g.add_vertex(5);
+            }
+            for i in 0..6usize {
+                let u = perm[i];
+                let v = perm[(i + 1) % 6];
+                g.add_edge(u, v);
+            }
+            g
+        };
+        let a = mk(&[0, 1, 2, 3, 4, 5]);
+        let b = mk(&[3, 1, 4, 0, 5, 2]);
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn claw_vs_path_same_degree_sum() {
+        let claw = GraphBuilder::new()
+            .vertices(&[0, 0, 0, 0])
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .build();
+        let p4 = path(&[0, 0, 0, 0]);
+        assert!(!are_isomorphic(&claw, &p4));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(
+            canonical_code(&LabeledGraph::new()),
+            canonical_code(&LabeledGraph::new())
+        );
+        let mut a = LabeledGraph::new();
+        a.add_vertex(3);
+        let mut b = LabeledGraph::new();
+        b.add_vertex(3);
+        assert!(are_isomorphic(&a, &b));
+        let mut c = LabeledGraph::new();
+        c.add_vertex(4);
+        assert!(!are_isomorphic(&a, &c));
+    }
+
+    #[test]
+    fn code_is_deterministic() {
+        let g = GraphBuilder::new()
+            .vertices(&[0, 1, 0, 1, 2])
+            .path(&[0, 1, 2, 3])
+            .edge(3, 4)
+            .edge(4, 0)
+            .build();
+        assert_eq!(canonical_code(&g), canonical_code(&g.clone()));
+    }
+
+    #[test]
+    fn label_multiset_shortcut_in_are_isomorphic() {
+        // Same structure, shuffled labels -> caught before code computation.
+        let a = path(&[0, 0, 1]);
+        let b = path(&[1, 1, 0]);
+        assert!(!are_isomorphic(&a, &b));
+    }
+}

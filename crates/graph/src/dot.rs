@@ -1,0 +1,144 @@
+//! Graphviz DOT rendering for labeled graphs and pattern panels.
+//!
+//! The systems in this workspace exist to serve a *visual* interface; being
+//! able to look at a pattern matters. [`to_dot`] renders one graph,
+//! [`panel_to_dot`] renders a whole canned-pattern panel as a single DOT
+//! document with one subgraph cluster per pattern — pipe it through
+//! `dot -Tsvg` to see the GUI panel (Fig. 1 / Fig. 2 style).
+
+use crate::graph::LabeledGraph;
+use crate::labels::Interner;
+use std::fmt::Write as _;
+
+/// Options for DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name (DOT identifier).
+    pub name: String,
+    /// Layout engine hint recorded in the output (`layout=` attribute).
+    pub layout: &'static str,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "pattern".to_owned(),
+            layout: "neato",
+        }
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders one labeled graph as an undirected DOT graph.
+pub fn to_dot(graph: &LabeledGraph, interner: &Interner, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(&options.name));
+    let _ = writeln!(out, "  layout={};", options.layout);
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for v in graph.vertices() {
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{}\"];",
+            v,
+            interner.name_or_placeholder(graph.label(v))
+        );
+    }
+    for &(u, v) in graph.edges() {
+        let _ = writeln!(out, "  v{u} -- v{v};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a pattern panel: every pattern becomes a `cluster_i` subgraph
+/// with its index as the title, inside one top-level graph.
+pub fn panel_to_dot(patterns: &[LabeledGraph], interner: &Interner, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(title));
+    let _ = writeln!(out, "  layout=fdp;");
+    let _ = writeln!(out, "  node [shape=circle fontsize=10];");
+    for (i, pattern) in patterns.iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{i} {{");
+        let _ = writeln!(out, "    label=\"p{}\";", i + 1);
+        for v in pattern.vertices() {
+            let _ = writeln!(
+                out,
+                "    p{i}v{v} [label=\"{}\"];",
+                interner.name_or_placeholder(pattern.label(v))
+            );
+        }
+        for &(u, v) in pattern.edges() {
+            let _ = writeln!(out, "    p{i}v{u} -- p{i}v{v};");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn co_path() -> LabeledGraph {
+        GraphBuilder::new().vertices(&[0, 1]).edge(0, 1).build()
+    }
+
+    #[test]
+    fn renders_vertices_edges_and_labels() {
+        let interner = Interner::with_labels(["C", "O"]);
+        let dot = to_dot(&co_path(), &interner, &DotOptions::default());
+        assert!(dot.starts_with("graph pattern {"));
+        assert!(dot.contains("v0 [label=\"C\"];"));
+        assert!(dot.contains("v1 [label=\"O\"];"));
+        assert!(dot.contains("v0 -- v1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn unknown_labels_get_placeholders() {
+        let interner = Interner::new();
+        let dot = to_dot(&co_path(), &interner, &DotOptions::default());
+        assert!(dot.contains("label=\"?0\""));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        let interner = Interner::with_labels(["C", "O"]);
+        let dot = to_dot(
+            &co_path(),
+            &interner,
+            &DotOptions {
+                name: "my pattern #3".into(),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.starts_with("graph my_pattern__3 {"));
+    }
+
+    #[test]
+    fn panel_nests_one_cluster_per_pattern() {
+        let interner = Interner::with_labels(["C", "O"]);
+        let panel = panel_to_dot(&[co_path(), co_path()], &interner, "gui");
+        assert_eq!(panel.matches("subgraph cluster_").count(), 2);
+        assert!(panel.contains("label=\"p1\";"));
+        assert!(panel.contains("label=\"p2\";"));
+        // Vertex ids are namespaced per pattern.
+        assert!(panel.contains("p0v0 -- p0v1;"));
+        assert!(panel.contains("p1v0 -- p1v1;"));
+    }
+
+    #[test]
+    fn empty_panel_is_valid_dot() {
+        let interner = Interner::new();
+        let panel = panel_to_dot(&[], &interner, "empty");
+        assert!(panel.starts_with("graph empty {"));
+        assert!(panel.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,458 @@
+//! Labeled, undirected, simple graphs (§2.1 of the paper).
+//!
+//! A [`LabeledGraph`] is an undirected simple graph with labeled vertices.
+//! The label of an edge `(u, v)` is the unordered pair of its endpoint
+//! labels (`l(e) = l(u).l(v)` in the paper). The *size* of a graph is its
+//! number of edges, `|G| = |E|`.
+
+use crate::labels::LabelId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a vertex within a single [`LabeledGraph`].
+pub type VertexId = u32;
+
+/// The label of an undirected edge: the unordered pair of endpoint labels.
+///
+/// Stored normalized (`small ≤ large`), so `EdgeLabel::new(a, b) ==
+/// EdgeLabel::new(b, a)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct EdgeLabel(pub LabelId, pub LabelId);
+
+impl EdgeLabel {
+    /// Builds a normalized edge label from two endpoint labels.
+    pub fn new(a: LabelId, b: LabelId) -> Self {
+        if a <= b {
+            EdgeLabel(a, b)
+        } else {
+            EdgeLabel(b, a)
+        }
+    }
+}
+
+/// An undirected, simple, vertex-labeled graph.
+///
+/// Vertices are dense indices `0..vertex_count()`; adjacency lists are kept
+/// sorted so iteration order (and therefore every algorithm built on top) is
+/// deterministic. Self-loops and parallel edges are rejected.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabeledGraph {
+    labels: Vec<LabelId>,
+    adj: Vec<Vec<VertexId>>,
+    /// Edges stored as `(u, v)` with `u < v`, sorted lexicographically.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl LabeledGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        LabeledGraph {
+            labels: Vec::new(),
+            adj: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Builds a graph from vertex labels and an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range endpoints, self-loops or duplicate edges —
+    /// data graphs in the paper's model are simple graphs, and silently
+    /// repairing malformed input would mask generator bugs.
+    pub fn from_parts(labels: Vec<LabelId>, edge_list: &[(VertexId, VertexId)]) -> Self {
+        let mut graph = LabeledGraph {
+            adj: vec![Vec::new(); labels.len()],
+            labels,
+            edges: Vec::with_capacity(edge_list.len()),
+        };
+        for &(u, v) in edge_list {
+            graph.add_edge(u, v);
+        }
+        graph
+    }
+
+    /// Adds a vertex with the given label; returns its id.
+    pub fn add_vertex(&mut self, label: LabelId) -> VertexId {
+        let id = self.labels.len() as VertexId;
+        self.labels.push(label);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or out-of-range endpoints.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!(u != v, "self-loop ({u}, {v}) not allowed in a simple graph");
+        let n = self.labels.len() as VertexId;
+        assert!(u < n && v < n, "edge ({u}, {v}) out of range (n = {n})");
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        let pos = self
+            .edges
+            .binary_search(&(a, b))
+            .expect_err("duplicate edge not allowed in a simple graph");
+        self.edges.insert(pos, (a, b));
+        let pa = self.adj[a as usize].binary_search(&b).unwrap_err();
+        self.adj[a as usize].insert(pa, b);
+        let pb = self.adj[b as usize].binary_search(&a).unwrap_err();
+        self.adj[b as usize].insert(pb, a);
+    }
+
+    /// Number of vertices `|V|`.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges `|E|`. This is the paper's graph *size* `|G|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of vertex `v`.
+    pub fn label(&self, v: VertexId) -> LabelId {
+        self.labels[v as usize]
+    }
+
+    /// All vertex labels, indexed by vertex id.
+    pub fn labels(&self) -> &[LabelId] {
+        &self.labels
+    }
+
+    /// Sorted neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Whether the undirected edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.adj
+            .get(u as usize)
+            .is_some_and(|ns| ns.binary_search(&v).is_ok())
+    }
+
+    /// Edges as `(u, v)` pairs with `u < v`, in lexicographic order.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// The normalized label of edge `(u, v)`.
+    pub fn edge_label(&self, u: VertexId, v: VertexId) -> EdgeLabel {
+        EdgeLabel::new(self.label(u), self.label(v))
+    }
+
+    /// Iterates over the labels of all edges.
+    pub fn edge_labels(&self) -> impl Iterator<Item = EdgeLabel> + '_ {
+        self.edges.iter().map(|&(u, v)| self.edge_label(u, v))
+    }
+
+    /// Vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.vertex_count() as VertexId
+    }
+
+    /// Density `ρ = 2|E| / (|V| (|V|−1))`, as used by the cognitive-load
+    /// measure `cog(p) = |E_p| · ρ_p` (§2.2). Zero for graphs with < 2
+    /// vertices.
+    pub fn density(&self) -> f64 {
+        let n = self.vertex_count() as f64;
+        if n < 2.0 {
+            return 0.0;
+        }
+        2.0 * self.edge_count() as f64 / (n * (n - 1.0))
+    }
+
+    /// Cognitive load `cog(G) = |E| · ρ` (§2.2).
+    pub fn cognitive_load(&self) -> f64 {
+        self.edge_count() as f64 * self.density()
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.vertex_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as VertexId];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(v) = stack.pop() {
+            for &w in self.neighbors(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    visited += 1;
+                    stack.push(w);
+                }
+            }
+        }
+        visited == n
+    }
+
+    /// The induced subgraph on `keep` (vertex ids of `self`), with vertices
+    /// renumbered to `0..keep.len()` in the order given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` contains duplicates or out-of-range ids.
+    pub fn induced_subgraph(&self, keep: &[VertexId]) -> LabeledGraph {
+        let mut map = vec![u32::MAX; self.vertex_count()];
+        for (new, &old) in keep.iter().enumerate() {
+            assert!(
+                map[old as usize] == u32::MAX,
+                "duplicate vertex {old} in induced_subgraph"
+            );
+            map[old as usize] = new as u32;
+        }
+        let labels = keep.iter().map(|&v| self.label(v)).collect();
+        let mut sub = LabeledGraph::from_parts(labels, &[]);
+        for &(u, v) in &self.edges {
+            let (mu, mv) = (map[u as usize], map[v as usize]);
+            if mu != u32::MAX && mv != u32::MAX {
+                sub.add_edge(mu, mv);
+            }
+        }
+        sub
+    }
+
+    /// The subgraph consisting of exactly `edge_subset` (pairs must be edges
+    /// of `self`), with the incident vertices renumbered compactly.
+    pub fn edge_subgraph(&self, edge_subset: &[(VertexId, VertexId)]) -> LabeledGraph {
+        let mut map = std::collections::BTreeMap::new();
+        for &(u, v) in edge_subset {
+            assert!(self.has_edge(u, v), "({u}, {v}) is not an edge");
+            map.entry(u).or_insert(0u32);
+            map.entry(v).or_insert(0u32);
+        }
+        for (new, (_, slot)) in map.iter_mut().enumerate() {
+            *slot = new as u32;
+        }
+        let labels = map.keys().map(|&v| self.label(v)).collect();
+        let mut sub = LabeledGraph::from_parts(labels, &[]);
+        let mut seen = std::collections::BTreeSet::new();
+        for &(u, v) in edge_subset {
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            if seen.insert((a, b)) {
+                sub.add_edge(map[&a], map[&b]);
+            }
+        }
+        sub
+    }
+
+    /// A multiset of vertex labels as a sorted `Vec` — useful for cheap
+    /// GED lower bounds and feature comparisons.
+    pub fn sorted_labels(&self) -> Vec<LabelId> {
+        let mut ls = self.labels.clone();
+        ls.sort_unstable();
+        ls
+    }
+
+    /// A multiset of edge labels as a sorted `Vec`.
+    pub fn sorted_edge_labels(&self) -> Vec<EdgeLabel> {
+        let mut ls: Vec<EdgeLabel> = self.edge_labels().collect();
+        ls.sort_unstable();
+        ls
+    }
+}
+
+impl Default for LabeledGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fluent builder for [`LabeledGraph`], convenient in tests and generators.
+///
+/// ```
+/// use midas_graph::GraphBuilder;
+/// // A triangle C-O-N.
+/// let g = GraphBuilder::new()
+///     .vertices(&[0, 1, 2])
+///     .edge(0, 1)
+///     .edge(1, 2)
+///     .edge(0, 2)
+///     .build();
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    graph: LabeledGraph,
+}
+
+impl GraphBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one vertex with `label`.
+    #[must_use]
+    pub fn vertex(mut self, label: LabelId) -> Self {
+        self.graph.add_vertex(label);
+        self
+    }
+
+    /// Adds a run of vertices with the given labels.
+    #[must_use]
+    pub fn vertices(mut self, labels: &[LabelId]) -> Self {
+        for &l in labels {
+            self.graph.add_vertex(l);
+        }
+        self
+    }
+
+    /// Adds the undirected edge `(u, v)`.
+    #[must_use]
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.graph.add_edge(u, v);
+        self
+    }
+
+    /// Adds a path along `vs` (consecutive vertices connected).
+    #[must_use]
+    pub fn path(mut self, vs: &[VertexId]) -> Self {
+        for w in vs.windows(2) {
+            self.graph.add_edge(w[0], w[1]);
+        }
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> LabeledGraph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> LabeledGraph {
+        // C - O - C
+        GraphBuilder::new().vertices(&[0, 1, 0]).path(&[0, 1, 2]).build()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let g = path3();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(1), 1);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let mut g = LabeledGraph::new();
+        g.add_vertex(0);
+        g.add_edge(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edges() {
+        let mut g = LabeledGraph::new();
+        g.add_vertex(0);
+        g.add_vertex(1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn edge_labels_are_normalized() {
+        assert_eq!(EdgeLabel::new(3, 1), EdgeLabel::new(1, 3));
+        let g = path3();
+        let labels: Vec<_> = g.edge_labels().collect();
+        assert_eq!(labels, vec![EdgeLabel(0, 1), EdgeLabel(0, 1)]);
+    }
+
+    #[test]
+    fn density_and_cognitive_load() {
+        // Triangle: density 1, cog = 3.
+        let tri = GraphBuilder::new()
+            .vertices(&[0, 0, 0])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build();
+        assert!((tri.density() - 1.0).abs() < 1e-12);
+        assert!((tri.cognitive_load() - 3.0).abs() < 1e-12);
+        // Path of 3: density 2/3, cog = 4/3.
+        let p = path3();
+        assert!((p.density() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.cognitive_load() - 4.0 / 3.0).abs() < 1e-12);
+        // Degenerate graphs.
+        let mut single = LabeledGraph::new();
+        single.add_vertex(0);
+        assert_eq!(single.density(), 0.0);
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(path3().is_connected());
+        let disconnected = GraphBuilder::new().vertices(&[0, 1]).build();
+        assert!(!disconnected.is_connected());
+        assert!(LabeledGraph::new().is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers_and_keeps_edges() {
+        let tri = GraphBuilder::new()
+            .vertices(&[5, 6, 7])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build();
+        let sub = tri.induced_subgraph(&[2, 0]);
+        assert_eq!(sub.vertex_count(), 2);
+        assert_eq!(sub.labels(), &[7, 5]);
+        assert_eq!(sub.edge_count(), 1);
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_only_selected_edges() {
+        let tri = GraphBuilder::new()
+            .vertices(&[5, 6, 7])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build();
+        let sub = tri.edge_subgraph(&[(1, 0), (1, 2)]);
+        assert_eq!(sub.vertex_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        // Vertex 1 (label 6) keeps degree 2; the (0,2) edge is dropped.
+        let deg2 = sub.vertices().filter(|&v| sub.degree(v) == 2).count();
+        assert_eq!(deg2, 1);
+    }
+
+    #[test]
+    fn sorted_label_multisets() {
+        let g = GraphBuilder::new().vertices(&[2, 0, 1, 0]).path(&[0, 1, 2, 3]).build();
+        assert_eq!(g.sorted_labels(), vec![0, 0, 1, 2]);
+        let els = g.sorted_edge_labels();
+        assert_eq!(els.len(), 3);
+        assert!(els.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn builder_path_helper() {
+        let g = GraphBuilder::new().vertices(&[0; 5]).path(&[0, 1, 2, 3, 4]).build();
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.is_connected());
+    }
+}

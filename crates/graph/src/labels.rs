@@ -1,0 +1,140 @@
+//! Vertex-label interning.
+//!
+//! Data graphs in the paper's target domains (PubChem, AIDS, eMolecules)
+//! carry short string labels such as atom symbols (`"C"`, `"O"`, `"N"`).
+//! Graphs store compact [`LabelId`]s; an [`Interner`] maps between the two.
+
+use std::collections::HashMap;
+
+/// A compact, interned vertex label.
+///
+/// `LabelId`s are plain `u32` indices into an [`Interner`]. Graphs compare
+/// labels by id only, so two graphs are label-compatible exactly when they
+/// were built against the same interner (or with the same raw ids).
+pub type LabelId = u32;
+
+/// Bidirectional map between string labels and [`LabelId`]s.
+///
+/// Interning is append-only: ids are dense, stable and assigned in first-seen
+/// order, which keeps every downstream computation deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, LabelId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner pre-populated with `names`, in order.
+    ///
+    /// Duplicate names are collapsed to their first occurrence.
+    pub fn with_labels<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut interner = Self::new();
+        for name in names {
+            interner.intern(name.as_ref());
+        }
+        interner
+    }
+
+    /// Returns the id for `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as LabelId;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id for `name` if it has been interned.
+    pub fn get(&self, name: &str) -> Option<LabelId> {
+        self.ids.get(name).copied()
+    }
+
+    /// Returns the string for `id`, or `None` if out of range.
+    pub fn name(&self, id: LabelId) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Returns the string for `id`, or `"?<id>"` if unknown.
+    ///
+    /// Convenient for diagnostics where a missing label should not panic.
+    pub fn name_or_placeholder(&self, id: LabelId) -> String {
+        match self.name(id) {
+            Some(name) => name.to_owned(),
+            None => format!("?{id}"),
+        }
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as LabelId, n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_first_seen_order() {
+        let mut interner = Interner::new();
+        assert_eq!(interner.intern("C"), 0);
+        assert_eq!(interner.intern("O"), 1);
+        assert_eq!(interner.intern("C"), 0);
+        assert_eq!(interner.intern("N"), 2);
+        assert_eq!(interner.len(), 3);
+    }
+
+    #[test]
+    fn lookup_roundtrips() {
+        let mut interner = Interner::new();
+        let c = interner.intern("C");
+        assert_eq!(interner.get("C"), Some(c));
+        assert_eq!(interner.name(c), Some("C"));
+        assert_eq!(interner.get("Xe"), None);
+        assert_eq!(interner.name(42), None);
+    }
+
+    #[test]
+    fn with_labels_collapses_duplicates() {
+        let interner = Interner::with_labels(["C", "O", "C", "N"]);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.get("N"), Some(2));
+    }
+
+    #[test]
+    fn placeholder_for_unknown_ids() {
+        let interner = Interner::new();
+        assert_eq!(interner.name_or_placeholder(7), "?7");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let interner = Interner::with_labels(["C", "O", "N"]);
+        let pairs: Vec<_> = interner.iter().collect();
+        assert_eq!(pairs, vec![(0, "C"), (1, "O"), (2, "N")]);
+    }
+}

@@ -1,0 +1,53 @@
+//! # midas-graph
+//!
+//! Graph substrate for the MIDAS canned-pattern maintenance framework
+//! (Huang et al., SIGMOD 2021).
+//!
+//! This crate provides everything the higher layers need to talk about
+//! *labeled, undirected, simple graphs* the way the paper does (§2.1):
+//!
+//! * [`LabeledGraph`] — vertex-labeled simple graphs with interned labels,
+//!   plus [`GraphBuilder`] for ergonomic construction.
+//! * [`GraphDb`] — a database `D` of small/medium data graphs with stable
+//!   [`GraphId`]s and batch insert/delete ([`BatchUpdate`]), matching the
+//!   paper's `D ⊕ ΔD` model (§3.1).
+//! * [`isomorphism`] — VF2-style subgraph isomorphism: containment tests,
+//!   embedding counting and embedding enumeration (used for coverage,
+//!   the TG/TP matrices of §5.1, and the formulation simulator).
+//! * [`ged`] — graph edit distance: an exact branch-and-bound solver for
+//!   small graphs, the label lower bound `GED_l`, and the paper's tightened
+//!   bound `GED'_l` (Lemma 6.1).
+//! * [`graphlets`] — exact counting of all connected 3-node and 4-node
+//!   graphlets and the graphlet frequency distribution `ψ` whose Euclidean
+//!   drift classifies modifications as major/minor (§3.4).
+//! * [`mccs`] — maximum connected common subgraph and the `ω_MCCS`
+//!   similarity used by fine clustering (§2.3).
+//! * [`closure`] — extended graphs and graph closure (Fig. 4), the
+//!   building block of cluster summary graphs.
+//! * [`canonical`] — canonical codes for small graphs, used to
+//!   de-duplicate candidate patterns.
+//!
+//! All stochastic components take explicit seeds; nothing in this crate
+//! reads ambient randomness, so every experiment is reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod canonical;
+pub mod closure;
+pub mod db;
+pub mod dot;
+pub mod ged;
+pub mod graph;
+pub mod graphlets;
+pub mod io;
+pub mod isomorphism;
+pub mod labels;
+pub mod mccs;
+
+pub use canonical::CanonicalCode;
+pub use closure::ClosureGraph;
+pub use db::{BatchUpdate, GraphDb, GraphId};
+pub use graph::{EdgeLabel, GraphBuilder, LabeledGraph, VertexId};
+pub use graphlets::{GraphletCounts, GraphletDistribution, GraphletKind};
+pub use labels::{Interner, LabelId};

@@ -1,0 +1,261 @@
+//! The pattern-feature matrix and the tightened GED lower bound (§6.1,
+//! Fig. 7, Lemma 6.1).
+//!
+//! A PF-matrix has one row per pattern edge and one column per *embedding*
+//! of a subtree feature (FCT, frequent or infrequent edge) in the pattern;
+//! entry `(i, j)` is 1 when edge `i` participates in embedding `j`. When
+//! matching pattern `G_i` into `G_j`, embeddings whose feature `G_j` lacks
+//! must be *relaxed*; the number of pattern edges left uncovered by any
+//! matchable embedding lower-bounds the relaxed-edge count `n`, giving
+//! `GED'_l = GED_l + n`.
+
+use crate::fct_index::FctIndex;
+use crate::ife_index::IfeIndex;
+use crate::EMBED_CAP;
+use midas_graph::ged::ged_label_lower_bound;
+use midas_graph::isomorphism::find_embeddings;
+use midas_graph::{EdgeLabel, LabeledGraph};
+use std::collections::BTreeMap;
+
+/// A feature reference: either an FCT-Index feature or an infrequent edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FeatureRef {
+    /// A row of the FCT-Index (FCT or frequent edge).
+    Fct(crate::FeatureId),
+    /// A tracked infrequent edge label.
+    Ife(EdgeLabel),
+}
+
+/// The PF-matrix of one pattern.
+#[derive(Debug, Clone)]
+pub struct PfMatrix {
+    /// Pattern edge count (rows).
+    edge_count: usize,
+    /// Per embedding column: the feature and the set of pattern-edge rows it
+    /// covers (stored as a bitmask over edges; patterns have ≤ 12 edges).
+    columns: Vec<(FeatureRef, u64)>,
+}
+
+impl PfMatrix {
+    /// Builds the PF-matrix of `pattern` against the current indices.
+    pub fn build(fct: &FctIndex, ife: &IfeIndex, pattern: &LabeledGraph) -> Self {
+        let edge_index: BTreeMap<(u32, u32), usize> = pattern
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| (e, i))
+            .collect();
+        let mut columns = Vec::new();
+        // FCT features: enumerate embeddings, mark the pattern edges used.
+        for (fid, feature) in fct.features() {
+            let embeddings = find_embeddings(&feature.tree, pattern, EMBED_CAP as usize);
+            for mapping in embeddings {
+                let mut mask = 0u64;
+                for &(u, v) in feature.tree.edges() {
+                    let (mu, mv) = (mapping[u as usize], mapping[v as usize]);
+                    let key = if mu < mv { (mu, mv) } else { (mv, mu) };
+                    if let Some(&row) = edge_index.get(&key) {
+                        if row < 64 {
+                            mask |= 1 << row;
+                        }
+                    }
+                }
+                columns.push((FeatureRef::Fct(fid), mask));
+            }
+        }
+        // Infrequent edges: one column per occurrence.
+        for &label in ife.tracked() {
+            for (row, &(u, v)) in pattern.edges().iter().enumerate() {
+                if pattern.edge_label(u, v) == label && row < 64 {
+                    columns.push((FeatureRef::Ife(label), 1 << row));
+                }
+            }
+        }
+        PfMatrix {
+            edge_count: pattern.edge_count(),
+            columns,
+        }
+    }
+
+    /// Number of rows (pattern edges).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of embedding columns.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The multiset of features present (feature → embedding count).
+    pub fn feature_multiset(&self) -> BTreeMap<FeatureRef, u32> {
+        let mut out = BTreeMap::new();
+        for &(f, _) in &self.columns {
+            *out.entry(f).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Relaxed-edge count `n` for matching `self`'s pattern into `other`'s
+    /// (§6.1): greedily cover `self`'s edges with embeddings whose feature
+    /// still has unmatched multiplicity in `other`; uncovered edges must be
+    /// relaxed.
+    pub fn relaxed_edges_into(&self, other: &PfMatrix) -> u32 {
+        let mut budget = other.feature_multiset();
+        let mut covered = 0u64;
+        // Greedy: take columns in descending new-coverage order until budget
+        // runs out. Recomputing gains each round keeps the greedy tight.
+        let mut remaining: Vec<(FeatureRef, u64)> = self.columns.clone();
+        loop {
+            let mut best: Option<(usize, u32)> = None;
+            for (i, &(f, mask)) in remaining.iter().enumerate() {
+                if budget.get(&f).copied().unwrap_or(0) == 0 {
+                    continue;
+                }
+                let gain = (mask & !covered).count_ones();
+                if gain > 0 && best.is_none_or(|(_, bg)| gain > bg) {
+                    best = Some((i, gain));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let (f, mask) = remaining.swap_remove(i);
+            *budget.get_mut(&f).expect("budget checked") -= 1;
+            covered |= mask;
+        }
+        let covered_count = covered.count_ones() as usize;
+        (self.edge_count.saturating_sub(covered_count)) as u32
+    }
+}
+
+/// The tightened lower bound `GED'_l(G_A, G_B) = GED_l + n` (Lemma 6.1),
+/// with `n` from the PF-matrices, oriented from the smaller-edge-set graph
+/// into the larger (as §6.1 prescribes `|E_j| > |E_i|`).
+pub fn ged_tight_lower_bound_pf(
+    fct: &FctIndex,
+    ife: &IfeIndex,
+    a: &LabeledGraph,
+    b: &LabeledGraph,
+) -> u32 {
+    let base = ged_label_lower_bound(a, b);
+    let (small, large) = if a.edge_count() <= b.edge_count() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let pf_small = PfMatrix::build(fct, ife, small);
+    let pf_large = PfMatrix::build(fct, ife, large);
+    base + pf_small.relaxed_edges_into(&pf_large)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PatternId;
+    use midas_graph::GraphBuilder;
+    use midas_mining::tree_key;
+    use std::collections::BTreeSet;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn indices(features: &[LabeledGraph], ife_labels: &[EdgeLabel]) -> (FctIndex, IfeIndex) {
+        let fct = FctIndex::build(
+            features.iter().map(|t| (tree_key(t), t)),
+            std::iter::empty::<(midas_graph::GraphId, &LabeledGraph)>(),
+            std::iter::empty::<(PatternId, &LabeledGraph)>(),
+        );
+        let ife = IfeIndex::build(
+            ife_labels.iter().copied().collect::<BTreeSet<_>>(),
+            std::iter::empty::<(midas_graph::GraphId, &LabeledGraph)>(),
+            std::iter::empty::<(PatternId, &LabeledGraph)>(),
+        );
+        (fct, ife)
+    }
+
+    #[test]
+    fn pf_matrix_shape_matches_figure_7() {
+        // Pattern: C-O-N path. Features: C-O edge (2 embeddings? no — one),
+        // O-N edge.
+        let features = vec![path(&[0, 1]), path(&[1, 2])];
+        let (fct, ife) = indices(&features, &[]);
+        let pattern = path(&[0, 1, 2]);
+        let pf = PfMatrix::build(&fct, &ife, &pattern);
+        assert_eq!(pf.edge_count(), 2);
+        assert_eq!(pf.column_count(), 2);
+        let multiset = pf.feature_multiset();
+        assert_eq!(multiset.len(), 2);
+        assert!(multiset.values().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn multiple_embeddings_make_multiple_columns() {
+        let features = vec![path(&[0, 1])]; // C-O
+        let (fct, ife) = indices(&features, &[]);
+        let pattern = path(&[1, 0, 1]); // O-C-O: two C-O embeddings
+        let pf = PfMatrix::build(&fct, &ife, &pattern);
+        assert_eq!(pf.column_count(), 2);
+        assert_eq!(pf.feature_multiset().values().sum::<u32>(), 2);
+    }
+
+    #[test]
+    fn identical_patterns_relax_nothing() {
+        let features = vec![path(&[0, 1]), path(&[1, 2])];
+        let (fct, ife) = indices(&features, &[]);
+        let p = path(&[0, 1, 2]);
+        let pf = PfMatrix::build(&fct, &ife, &p);
+        assert_eq!(pf.relaxed_edges_into(&pf.clone()), 0);
+    }
+
+    #[test]
+    fn missing_feature_forces_relaxation() {
+        // Self has O-N; other has only C-O features: the O-N edge relaxes.
+        let features = vec![path(&[0, 1]), path(&[1, 2])];
+        let (fct, ife) = indices(&features, &[]);
+        let a = path(&[0, 1, 2]); // C-O-N
+        let b = path(&[0, 1, 0]); // C-O-C
+        let pfa = PfMatrix::build(&fct, &ife, &a);
+        let pfb = PfMatrix::build(&fct, &ife, &b);
+        assert_eq!(pfa.relaxed_edges_into(&pfb), 1);
+    }
+
+    #[test]
+    fn infrequent_edges_contribute_columns() {
+        let (fct, ife) = indices(&[], &[EdgeLabel::new(2, 3)]);
+        let pattern = path(&[2, 3, 2]); // two N-S edges
+        let pf = PfMatrix::build(&fct, &ife, &pattern);
+        assert_eq!(pf.column_count(), 2);
+    }
+
+    #[test]
+    fn tight_bound_dominates_base_bound() {
+        let features = vec![path(&[0, 1]), path(&[1, 2]), path(&[0, 1, 2])];
+        let (fct, ife) = indices(&features, &[EdgeLabel::new(2, 3)]);
+        let samples = [
+            path(&[0, 1, 2]),
+            path(&[0, 1, 0]),
+            path(&[2, 3]),
+            path(&[0, 1, 2, 3]),
+        ];
+        for a in &samples {
+            for b in &samples {
+                let tight = ged_tight_lower_bound_pf(&fct, &ife, a, b);
+                let base = ged_label_lower_bound(a, b);
+                assert!(tight >= base, "tight {tight} < base {base}");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_bound_is_symmetric_in_orientation_choice() {
+        let features = vec![path(&[0, 1])];
+        let (fct, ife) = indices(&features, &[]);
+        let a = path(&[0, 1]);
+        let b = path(&[0, 1, 2, 3]);
+        assert_eq!(
+            ged_tight_lower_bound_pf(&fct, &ife, &a, &b),
+            ged_tight_lower_bound_pf(&fct, &ife, &b, &a)
+        );
+    }
+}

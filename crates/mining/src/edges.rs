@@ -1,0 +1,210 @@
+//! Frequent / infrequent edge extraction (§3.3, §5.1).
+//!
+//! The FCT-Index covers frequent closed trees *and frequent edges*; the
+//! IFE-Index covers infrequent edges. This module maintains, per edge
+//! label, the supporting graphs and per-graph occurrence counts, updated
+//! incrementally as the database evolves. It also provides the label
+//! coverage `lcov(e, X) = |L(e, X)| / |X|` used for CSG edge weights (§2.3).
+
+use midas_graph::{EdgeLabel, GraphId, LabeledGraph};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Support data for one edge label.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeStats {
+    /// Graphs containing at least one edge with this label.
+    pub support: BTreeSet<GraphId>,
+    /// Number of edges with this label per supporting graph.
+    pub occurrences: BTreeMap<GraphId, u32>,
+}
+
+impl EdgeStats {
+    /// Total occurrences across all graphs.
+    pub fn total_occurrences(&self) -> u64 {
+        self.occurrences.values().map(|&c| c as u64).sum()
+    }
+}
+
+/// Per-edge-label statistics for a graph database, with incremental updates.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeCatalog {
+    stats: BTreeMap<EdgeLabel, EdgeStats>,
+}
+
+impl EdgeCatalog {
+    /// Builds the catalog from scratch.
+    pub fn build<'a, I>(graphs: I) -> Self
+    where
+        I: IntoIterator<Item = (GraphId, &'a LabeledGraph)>,
+    {
+        let mut catalog = Self::default();
+        for (id, g) in graphs {
+            catalog.add_graph(id, g);
+        }
+        catalog
+    }
+
+    /// Registers a newly inserted graph.
+    pub fn add_graph(&mut self, id: GraphId, graph: &LabeledGraph) {
+        for label in graph.edge_labels() {
+            let stats = self.stats.entry(label).or_default();
+            stats.support.insert(id);
+            *stats.occurrences.entry(id).or_insert(0) += 1;
+        }
+    }
+
+    /// Unregisters a deleted graph. Labels whose support empties are
+    /// dropped entirely.
+    pub fn remove_graph(&mut self, id: GraphId, graph: &LabeledGraph) {
+        for label in graph.edge_labels() {
+            if let Some(stats) = self.stats.get_mut(&label) {
+                stats.support.remove(&id);
+                stats.occurrences.remove(&id);
+            }
+        }
+        self.stats.retain(|_, s| !s.support.is_empty());
+    }
+
+    /// All edge labels currently present, in label order.
+    pub fn labels(&self) -> impl Iterator<Item = (EdgeLabel, &EdgeStats)> {
+        self.stats.iter().map(|(&l, s)| (l, s))
+    }
+
+    /// Stats for one edge label.
+    pub fn get(&self, label: EdgeLabel) -> Option<&EdgeStats> {
+        self.stats.get(&label)
+    }
+
+    /// Label coverage `lcov(e, D) = |L(e, D)| / |D|` (§2.2).
+    pub fn lcov(&self, label: EdgeLabel, db_len: usize) -> f64 {
+        if db_len == 0 {
+            return 0.0;
+        }
+        self.stats
+            .get(&label)
+            .map_or(0.0, |s| s.support.len() as f64 / db_len as f64)
+    }
+
+    /// Edge labels with support ≥ `sup_min` (the `E_freq` of Def. 5.1).
+    pub fn frequent(&self, sup_min: f64, db_len: usize) -> Vec<(EdgeLabel, &EdgeStats)> {
+        let min_count = min_count(sup_min, db_len);
+        self.stats
+            .iter()
+            .filter(|(_, s)| s.support.len() >= min_count)
+            .map(|(&l, s)| (l, s))
+            .collect()
+    }
+
+    /// Edge labels with positive support below `sup_min` (the `E_inf` of
+    /// Def. 5.2).
+    pub fn infrequent(&self, sup_min: f64, db_len: usize) -> Vec<(EdgeLabel, &EdgeStats)> {
+        let min_count = min_count(sup_min, db_len);
+        self.stats
+            .iter()
+            .filter(|(_, s)| !s.support.is_empty() && s.support.len() < min_count)
+            .map(|(&l, s)| (l, s))
+            .collect()
+    }
+
+    /// Number of distinct edge labels tracked.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+}
+
+/// Absolute support count implied by a relative threshold.
+pub(crate) fn min_count(sup_min: f64, db_len: usize) -> usize {
+    ((sup_min * db_len as f64).ceil() as usize).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn gid(i: u64) -> GraphId {
+        GraphId(i)
+    }
+
+    #[test]
+    fn build_counts_occurrences() {
+        // G1: C-O-C has two C-O edges; G2: C-O has one.
+        let g1 = path(&[0, 1, 0]);
+        let g2 = path(&[0, 1]);
+        let cat = EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2)]);
+        let co = cat.get(EdgeLabel::new(0, 1)).unwrap();
+        assert_eq!(co.support.len(), 2);
+        assert_eq!(co.occurrences[&gid(1)], 2);
+        assert_eq!(co.occurrences[&gid(2)], 1);
+        assert_eq!(co.total_occurrences(), 3);
+    }
+
+    #[test]
+    fn lcov_matches_definition() {
+        let g1 = path(&[0, 1, 0]);
+        let g2 = path(&[0, 2]);
+        let cat = EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2)]);
+        assert!((cat.lcov(EdgeLabel::new(0, 1), 2) - 0.5).abs() < 1e-12);
+        assert!((cat.lcov(EdgeLabel::new(0, 2), 2) - 0.5).abs() < 1e-12);
+        assert_eq!(cat.lcov(EdgeLabel::new(5, 5), 2), 0.0);
+        assert_eq!(cat.lcov(EdgeLabel::new(0, 1), 0), 0.0);
+    }
+
+    #[test]
+    fn frequent_infrequent_partition() {
+        let g1 = path(&[0, 1]);
+        let g2 = path(&[0, 1]);
+        let g3 = path(&[0, 2]);
+        let cat = EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2), (gid(3), &g3)]);
+        // sup_min = 0.5 over 3 graphs -> min count 2.
+        let freq = cat.frequent(0.5, 3);
+        assert_eq!(freq.len(), 1);
+        assert_eq!(freq[0].0, EdgeLabel::new(0, 1));
+        let inf = cat.infrequent(0.5, 3);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].0, EdgeLabel::new(0, 2));
+    }
+
+    #[test]
+    fn remove_graph_drops_empty_labels() {
+        let g1 = path(&[0, 1]);
+        let g2 = path(&[0, 2]);
+        let mut cat = EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2)]);
+        assert_eq!(cat.len(), 2);
+        cat.remove_graph(gid(2), &g2);
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get(EdgeLabel::new(0, 2)).is_none());
+    }
+
+    #[test]
+    fn incremental_matches_rebuild() {
+        let g1 = path(&[0, 1, 2]);
+        let g2 = path(&[1, 2, 1]);
+        let g3 = path(&[0, 0]);
+        let mut cat = EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2)]);
+        cat.add_graph(gid(3), &g3);
+        cat.remove_graph(gid(1), &g1);
+        let rebuilt = EdgeCatalog::build([(gid(2), &g2), (gid(3), &g3)]);
+        let lhs: Vec<_> = cat.labels().map(|(l, s)| (l, s.support.clone())).collect();
+        let rhs: Vec<_> = rebuilt.labels().map(|(l, s)| (l, s.support.clone())).collect();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn min_count_rounds_up_and_floors_at_one() {
+        assert_eq!(min_count(0.5, 3), 2);
+        assert_eq!(min_count(0.5, 4), 2);
+        assert_eq!(min_count(0.0, 10), 1);
+        assert_eq!(min_count(0.1, 0), 1);
+    }
+}

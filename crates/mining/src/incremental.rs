@@ -1,0 +1,353 @@
+//! Incremental FCT maintenance (§4.2) — the CTMiningAdd / CTMiningDelete
+//! analogues over the exact-support [`TreeLattice`].
+//!
+//! [`FctState`] owns everything MIDAS tracks about frequent structures:
+//! the tree lattice at the **relaxed** threshold `sup_min / 2` (Lemma 4.5)
+//! and the per-edge-label catalog. A batch update is processed as:
+//!
+//! 1. `Δ⁻`: remove deleted ids from every support set (Prop. 4.1 — a CT's
+//!    identity does not change, only counts) and from the edge catalog.
+//! 2. `Δ⁺`: extend tracked supports by testing only the inserted graphs;
+//!    mine the inserted graphs alone at the relaxed threshold (the
+//!    `F_{Δ⁺}` of §4.2) and, for trees newly seen, complete their support
+//!    against the pre-existing graphs (Corollary 4.3's case 2/3).
+//! 3. Prune below the relaxed threshold and re-derive closed flags.
+//!
+//! If a deletion batch removes more than half the database, the relaxed
+//! threshold can no longer guarantee completeness (the premise behind
+//! Lemma 4.5), so the state falls back to mining from scratch.
+
+use crate::canonical::TreeKey;
+use crate::edges::EdgeCatalog;
+use crate::lattice::{TreeEntry, TreeLattice};
+use crate::treenat::{mine_lattice, MiningConfig};
+use midas_graph::isomorphism::is_subgraph_of;
+use midas_graph::{GraphDb, GraphId, LabeledGraph};
+use std::collections::BTreeSet;
+
+/// Frequent-structure state: tree lattice + edge catalog, kept in sync with
+/// the database by [`FctState::apply_batch`].
+#[derive(Debug, Clone)]
+pub struct FctState {
+    /// The tracked tree lattice (relaxed threshold `sup_min / 2`).
+    pub lattice: TreeLattice,
+    /// Per-edge-label supports and occurrence counts.
+    pub edges: EdgeCatalog,
+    config: MiningConfig,
+}
+
+impl FctState {
+    /// The user-level mining configuration (`sup_min`, `max_edges`).
+    pub fn config(&self) -> MiningConfig {
+        self.config
+    }
+
+    /// The relaxed tracking threshold `sup_min / 2`.
+    pub fn relaxed_threshold(&self) -> f64 {
+        self.config.sup_min / 2.0
+    }
+
+    /// Builds the state from scratch for `db`.
+    pub fn build(db: &GraphDb, config: MiningConfig) -> Self {
+        let graphs: Vec<(GraphId, &LabeledGraph)> =
+            db.iter().map(|(id, g)| (id, g.as_ref())).collect();
+        let relaxed = MiningConfig {
+            sup_min: config.sup_min / 2.0,
+            ..config
+        };
+        FctState {
+            lattice: mine_lattice(&graphs, &relaxed),
+            edges: EdgeCatalog::build(graphs.iter().copied()),
+            config,
+        }
+    }
+
+    /// The current FCT set at the user threshold: `(key, entry)` for every
+    /// frequent *closed* tree.
+    pub fn fct(&self, db_len: usize) -> Vec<(&TreeKey, &TreeEntry)> {
+        self.lattice.frequent_closed(self.config.sup_min, db_len)
+    }
+
+    /// The frequent-subtree set at the user threshold (CATAPULT's FS
+    /// features).
+    pub fn frequent_trees(&self, db_len: usize) -> Vec<(&TreeKey, &TreeEntry)> {
+        self.lattice.frequent(self.config.sup_min, db_len)
+    }
+
+    /// Applies a batch update.
+    ///
+    /// * `db_after` — the database **after** the batch was applied.
+    /// * `inserted` — ids assigned to `Δ⁺` (must resolve in `db_after`).
+    /// * `deleted` — the `Δ⁻` graphs, with their former ids.
+    pub fn apply_batch(
+        &mut self,
+        db_after: &GraphDb,
+        inserted: &[GraphId],
+        deleted: &[(GraphId, &LabeledGraph)],
+    ) {
+        let old_len = db_after.len() + deleted.len() - inserted.len();
+        if !deleted.is_empty() && deleted.len() * 2 > old_len {
+            // Lemma 4.5's premise is void: rebuild.
+            *self = FctState::build(db_after, self.config);
+            return;
+        }
+
+        // Step 1: deletions (CTMiningDelete analogue).
+        for &(id, g) in deleted {
+            self.edges.remove_graph(id, g);
+        }
+        let deleted_ids: BTreeSet<GraphId> = deleted.iter().map(|&(id, _)| id).collect();
+        if !deleted_ids.is_empty() {
+            self.lattice.remove_graphs(&deleted_ids);
+        }
+
+        // Step 2: insertions (CTMiningAdd analogue).
+        let inserted_graphs: Vec<(GraphId, &LabeledGraph)> = inserted
+            .iter()
+            .map(|&id| {
+                (
+                    id,
+                    db_after
+                        .get(id)
+                        .expect("inserted id must resolve in db_after")
+                        .as_ref(),
+                )
+            })
+            .collect();
+        for &(id, g) in &inserted_graphs {
+            self.edges.add_graph(id, g);
+        }
+        if !inserted_graphs.is_empty() {
+            // 2a: extend supports of already-tracked trees against Δ⁺ only.
+            for (_, entry) in self.lattice.iter_mut() {
+                for &(id, g) in &inserted_graphs {
+                    if is_subgraph_of(&entry.tree, g) {
+                        entry.support.insert(id);
+                    }
+                }
+            }
+            // 2b: mine F_{Δ⁺} at the relaxed threshold and merge new trees,
+            // completing their supports over the pre-existing graphs.
+            let relaxed = MiningConfig {
+                sup_min: self.relaxed_threshold(),
+                ..self.config
+            };
+            let delta_lattice = mine_lattice(&inserted_graphs, &relaxed);
+            let inserted_set: BTreeSet<GraphId> = inserted.iter().copied().collect();
+            for (key, delta_entry) in delta_lattice.iter() {
+                if self.lattice.contains(key) {
+                    continue; // support already extended in 2a
+                }
+                let mut support = delta_entry.support.clone();
+                for (id, g) in db_after.iter() {
+                    if !inserted_set.contains(&id) && is_subgraph_of(&delta_entry.tree, g) {
+                        support.insert(id);
+                    }
+                }
+                self.lattice.insert(
+                    key.clone(),
+                    TreeEntry {
+                        tree: delta_entry.tree.clone(),
+                        support,
+                        closed: false,
+                    },
+                );
+            }
+        }
+
+        // Step 3: prune to the relaxed threshold and re-derive closedness.
+        self.lattice
+            .prune_below(self.relaxed_threshold(), db_after.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::tree_key;
+    use midas_graph::{BatchUpdate, GraphBuilder};
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn config() -> MiningConfig {
+        MiningConfig {
+            sup_min: 0.5,
+            max_edges: 3,
+        }
+    }
+
+    /// Asserts that `state` equals a from-scratch build on `db`, up to
+    /// support sets and closed flags.
+    fn assert_matches_scratch(state: &FctState, db: &GraphDb) {
+        let scratch = FctState::build(db, state.config());
+        let got: Vec<_> = state
+            .lattice
+            .iter()
+            .map(|(k, e)| (k.clone(), e.support.clone(), e.closed))
+            .collect();
+        let want: Vec<_> = scratch
+            .lattice
+            .iter()
+            .map(|(k, e)| (k.clone(), e.support.clone(), e.closed))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insertions_match_scratch_mining() {
+        let mut db = GraphDb::from_graphs([
+            path(&[0, 1, 2]),
+            path(&[0, 1]),
+            path(&[0, 1, 2, 3]),
+        ]);
+        let mut state = FctState::build(&db, config());
+        let (inserted, _) = db.apply(BatchUpdate::insert_only(vec![
+            path(&[0, 1, 2]),
+            path(&[2, 3]),
+        ]));
+        state.apply_batch(&db, &inserted, &[]);
+        assert_matches_scratch(&state, &db);
+    }
+
+    #[test]
+    fn deletions_match_scratch_mining() {
+        let mut db = GraphDb::from_graphs([
+            path(&[0, 1, 2]),
+            path(&[0, 1]),
+            path(&[0, 1, 2, 3]),
+            path(&[0, 1, 2]),
+        ]);
+        let mut state = FctState::build(&db, config());
+        let victim = db.ids().next().unwrap();
+        let victim_graph = db.get(victim).unwrap().clone();
+        db.remove(victim);
+        state.apply_batch(&db, &[], &[(victim, victim_graph.as_ref())]);
+        assert_matches_scratch(&state, &db);
+    }
+
+    #[test]
+    fn mixed_batch_matches_scratch() {
+        let mut db = GraphDb::from_graphs([
+            path(&[0, 1, 2]),
+            path(&[0, 1]),
+            path(&[0, 1, 2, 3]),
+            path(&[3, 3]),
+        ]);
+        let mut state = FctState::build(&db, config());
+        let victim = db.ids().nth(1).unwrap();
+        let victim_graph = db.get(victim).unwrap().clone();
+        let update = BatchUpdate {
+            insert: vec![path(&[0, 1, 0]), path(&[3, 3, 3])],
+            delete: vec![victim],
+        };
+        let (inserted, _) = db.apply(update);
+        state.apply_batch(&db, &inserted, &[(victim, victim_graph.as_ref())]);
+        assert_matches_scratch(&state, &db);
+    }
+
+    #[test]
+    fn new_tree_from_delta_gets_full_support() {
+        // S-S is below even the relaxed threshold initially (1 of 8, with
+        // ceil(0.25 * 8) = 2 required), then a batch adds two more copies:
+        // it must surface with support counted over the *whole* database.
+        let mut db = GraphDb::from_graphs([
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[3, 3]),
+        ]);
+        let mut state = FctState::build(&db, config());
+        let ss = tree_key(&path(&[3, 3]));
+        assert!(
+            state.lattice.get(&ss).is_none(),
+            "S-S below relaxed threshold initially"
+        );
+        let (inserted, _) = db.apply(BatchUpdate::insert_only(vec![
+            path(&[3, 3]),
+            path(&[3, 3, 3]),
+        ]));
+        state.apply_batch(&db, &inserted, &[]);
+        let entry = state.lattice.get(&ss).expect("S-S now tracked");
+        assert_eq!(entry.support.len(), 3, "old S-S graph must be counted");
+        assert_matches_scratch(&state, &db);
+    }
+
+    #[test]
+    fn lemma_3_4_closed_stays_closed() {
+        // A tree closed in D stays closed in D ⊕ ΔD when ΔD does not add a
+        // same-support supertree.
+        let mut db = GraphDb::from_graphs([path(&[0, 1, 2]), path(&[0, 1, 2])]);
+        let mut state = FctState::build(&db, config());
+        let con = tree_key(&path(&[0, 1, 2]));
+        assert!(state.lattice.get(&con).unwrap().closed);
+        let (inserted, _) = db.apply(BatchUpdate::insert_only(vec![path(&[0, 1])]));
+        state.apply_batch(&db, &inserted, &[]);
+        assert!(state.lattice.get(&con).unwrap().closed);
+        // And C-O became closed too: its support now differs from C-O-N's.
+        let co = tree_key(&path(&[0, 1]));
+        assert!(state.lattice.get(&co).unwrap().closed);
+    }
+
+    #[test]
+    fn huge_deletion_falls_back_to_rebuild() {
+        let mut db = GraphDb::from_graphs([
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[2, 3]),
+            path(&[2, 3]),
+        ]);
+        let mut state = FctState::build(&db, config());
+        let victims: Vec<_> = db.ids().take(3).collect();
+        let graphs: Vec<_> = victims
+            .iter()
+            .map(|&id| (id, db.get(id).unwrap().clone()))
+            .collect();
+        for &id in &victims {
+            db.remove(id);
+        }
+        let deleted: Vec<(GraphId, &LabeledGraph)> =
+            graphs.iter().map(|(id, g)| (*id, g.as_ref())).collect();
+        state.apply_batch(&db, &[], &deleted);
+        assert_matches_scratch(&state, &db);
+    }
+
+    #[test]
+    fn fct_filter_uses_user_threshold() {
+        let db = GraphDb::from_graphs([
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[0, 1]),
+            path(&[2, 3]),
+        ]);
+        let state = FctState::build(&db, config());
+        // C-O: support 3/4 >= 0.5 -> FCT. N-S: 1/4 >= 0.25 (tracked) but
+        // below 0.5 (not FCT).
+        let fct = state.fct(db.len());
+        assert_eq!(fct.len(), 1);
+        assert!(state.lattice.contains(&tree_key(&path(&[2, 3]))));
+    }
+
+    #[test]
+    fn repeated_batches_stay_consistent() {
+        let mut db = GraphDb::from_graphs([path(&[0, 1, 2]), path(&[0, 1])]);
+        let mut state = FctState::build(&db, config());
+        for round in 0..4u32 {
+            let newcomer = path(&[round % 3, (round + 1) % 3]);
+            let victim = db.ids().next().unwrap();
+            let victim_graph = db.get(victim).unwrap().clone();
+            let (inserted, _) = db.apply(BatchUpdate {
+                insert: vec![newcomer, path(&[0, 1, 2])],
+                delete: vec![victim],
+            });
+            state.apply_batch(&db, &inserted, &[(victim, victim_graph.as_ref())]);
+            assert_matches_scratch(&state, &db);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! TreeNat-style frequent-tree mining (§4.2, Balcázar et al. \[9\]).
+//!
+//! Enumerates labeled free trees level-wise: level-1 candidates are the
+//! frequent edge labels, and a level-`k` tree is extended by attaching one
+//! new labeled vertex to each of its vertices. Duplicate extensions are
+//! collapsed through the canonical [`TreeKey`]; supports are counted by
+//! subtree-into-graph isomorphism, restricted to the parent's supporting
+//! graphs (anti-monotonicity). The result is a [`TreeLattice`] whose closed
+//! flags are derived from the exact support sets.
+
+use crate::canonical::{edge_tree, tree_key, TreeKey};
+use crate::edges::{min_count, EdgeCatalog};
+use crate::lattice::{TreeEntry, TreeLattice};
+use midas_graph::isomorphism::is_subgraph_of;
+use midas_graph::{EdgeLabel, GraphId, LabeledGraph, VertexId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MiningConfig {
+    /// Minimum relative support `sup_min` (§3.3). The paper's default
+    /// setting is 0.5 (§7.1).
+    pub sup_min: f64,
+    /// Maximum tree size in edges. CATAPULT's feature trees are small; the
+    /// paper notes FCT subgraph-isomorphism checks stay cheap "due to small
+    /// size of FCTs" (§5.1). Default 4.
+    pub max_edges: usize,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            sup_min: 0.5,
+            max_edges: 4,
+        }
+    }
+}
+
+/// Mines the frequent-tree lattice of `graphs` at `config.sup_min`.
+///
+/// `graphs` is any consistent snapshot (the full database, or just `Δ⁺`
+/// during maintenance). Closed flags are recomputed before returning.
+pub fn mine_lattice(graphs: &[(GraphId, &LabeledGraph)], config: &MiningConfig) -> TreeLattice {
+    let mut lattice = TreeLattice::new();
+    let n = graphs.len();
+    if n == 0 || config.max_edges == 0 {
+        return lattice;
+    }
+    let need = min_count(config.sup_min, n);
+    let catalog = EdgeCatalog::build(graphs.iter().map(|&(id, g)| (id, g)));
+
+    // Level 1: frequent edge labels as 2-vertex trees.
+    let frequent_edges: Vec<(EdgeLabel, BTreeSet<GraphId>)> = catalog
+        .labels()
+        .filter(|(_, s)| s.support.len() >= need)
+        .map(|(l, s)| (l, s.support.clone()))
+        .collect();
+    let mut frontier: Vec<(TreeKey, LabeledGraph, BTreeSet<GraphId>)> = frequent_edges
+        .iter()
+        .map(|&(label, ref support)| {
+            let t = edge_tree(label.0, label.1);
+            (tree_key(&t), t, support.clone())
+        })
+        .collect();
+    for (key, tree, support) in &frontier {
+        lattice.insert(
+            key.clone(),
+            TreeEntry {
+                tree: tree.clone(),
+                support: support.clone(),
+                closed: false,
+            },
+        );
+    }
+
+    // Fast lookup of graphs by id for support counting.
+    let by_id: BTreeMap<GraphId, &LabeledGraph> = graphs.iter().map(|&(id, g)| (id, g)).collect();
+    // Extension labels allowed per anchor label, derived from frequent edges
+    // (a tree extension's new edge must itself be frequent).
+    let mut extension_labels: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for &(label, _) in &frequent_edges {
+        extension_labels.entry(label.0).or_default().push(label.1);
+        if label.0 != label.1 {
+            extension_labels.entry(label.1).or_default().push(label.0);
+        }
+    }
+
+    for _level in 2..=config.max_edges {
+        // Generate deduplicated candidates with one parent support each.
+        let mut candidates: BTreeMap<TreeKey, (LabeledGraph, BTreeSet<GraphId>)> = BTreeMap::new();
+        for (_, tree, support) in &frontier {
+            for v in 0..tree.vertex_count() as VertexId {
+                let Some(new_labels) = extension_labels.get(&tree.label(v)) else {
+                    continue;
+                };
+                for &nl in new_labels {
+                    let mut extended = tree.clone();
+                    let nv = extended.add_vertex(nl);
+                    extended.add_edge(v, nv);
+                    let key = tree_key(&extended);
+                    candidates
+                        .entry(key)
+                        .and_modify(|(_, sup)| {
+                            // Intersect parent supports: the candidate's
+                            // support is contained in every parent's.
+                            *sup = sup.intersection(support).copied().collect();
+                        })
+                        .or_insert_with(|| (extended, support.clone()));
+                }
+            }
+        }
+        // Count exact supports and keep the frequent ones.
+        let mut next: Vec<(TreeKey, LabeledGraph, BTreeSet<GraphId>)> = Vec::new();
+        for (key, (tree, parent_support)) in candidates {
+            if parent_support.len() < need {
+                continue;
+            }
+            let support: BTreeSet<GraphId> = parent_support
+                .iter()
+                .copied()
+                .filter(|id| is_subgraph_of(&tree, by_id[id]))
+                .collect();
+            if support.len() >= need {
+                lattice.insert(
+                    key.clone(),
+                    TreeEntry {
+                        tree: tree.clone(),
+                        support: support.clone(),
+                        closed: false,
+                    },
+                );
+                next.push((key, tree, support));
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    lattice.recompute_closed_flags();
+    lattice
+}
+
+/// Reference miner for testing: enumerates *all* trees up to `max_edges` by
+/// brute-force expansion from every graph's spanning substructures.
+///
+/// Exponential and tiny-input-only; used to validate [`mine_lattice`].
+pub fn mine_lattice_brute_force(
+    graphs: &[(GraphId, &LabeledGraph)],
+    config: &MiningConfig,
+) -> TreeLattice {
+    let n = graphs.len();
+    let mut lattice = TreeLattice::new();
+    if n == 0 {
+        return lattice;
+    }
+    let need = min_count(config.sup_min, n);
+    // Enumerate all connected subtrees of every graph (by edge-set growth).
+    let mut seen: BTreeMap<TreeKey, (LabeledGraph, BTreeSet<GraphId>)> = BTreeMap::new();
+    for &(id, g) in graphs {
+        let mut subtrees: BTreeSet<TreeKey> = BTreeSet::new();
+        // BFS over connected edge subsets that stay acyclic.
+        let mut queue: Vec<Vec<(VertexId, VertexId)>> =
+            g.edges().iter().map(|&e| vec![e]).collect();
+        while let Some(edge_set) = queue.pop() {
+            let sub = g.edge_subgraph(&edge_set);
+            if !crate::canonical::is_tree(&sub) {
+                continue;
+            }
+            let key = tree_key(&sub);
+            let new = subtrees.insert(key.clone());
+            if new {
+                seen.entry(key)
+                    .and_modify(|(_, sup)| {
+                        sup.insert(id);
+                    })
+                    .or_insert_with(|| (sub.clone(), [id].into()));
+            }
+            if edge_set.len() < config.max_edges {
+                for &e in g.edges() {
+                    if !edge_set.contains(&e) {
+                        let mut bigger = edge_set.clone();
+                        bigger.push(e);
+                        bigger.sort_unstable();
+                        bigger.dedup();
+                        queue.push(bigger);
+                    }
+                }
+            }
+        }
+    }
+    for (key, (tree, support)) in seen {
+        if support.len() >= need {
+            lattice.insert(
+                key,
+                TreeEntry {
+                    tree,
+                    support,
+                    closed: false,
+                },
+            );
+        }
+    }
+    lattice.recompute_closed_flags();
+    lattice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn gid(i: u64) -> GraphId {
+        GraphId(i)
+    }
+
+    #[test]
+    fn mines_frequent_edges_at_level_one() {
+        let g1 = path(&[0, 1]);
+        let g2 = path(&[0, 1, 2]);
+        let g3 = path(&[3, 3]);
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2), (gid(3), &g3)];
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 0.5,
+                max_edges: 1,
+            },
+        );
+        // Only C-O appears in >= 2 of 3 graphs.
+        assert_eq!(lat.len(), 1);
+        let (_, entry) = lat.iter().next().unwrap();
+        assert_eq!(entry.tree.edge_count(), 1);
+        assert_eq!(entry.support.len(), 2);
+    }
+
+    #[test]
+    fn extends_to_larger_trees() {
+        let g1 = path(&[0, 1, 2]);
+        let g2 = path(&[0, 1, 2, 3]);
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2)];
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 1.0,
+                max_edges: 3,
+            },
+        );
+        // Frequent in both: C-O, O-N, C-O-N. (N-S only in g2.)
+        let sizes: Vec<usize> = lat.iter().map(|(_, e)| e.tree.edge_count()).collect();
+        assert!(sizes.contains(&2), "C-O-N should be mined: {sizes:?}");
+        let con = path(&[0, 1, 2]);
+        let entry = lat.get(&tree_key(&con)).expect("C-O-N tracked");
+        assert_eq!(entry.support.len(), 2);
+        assert!(entry.closed, "no larger tree shares its support");
+    }
+
+    #[test]
+    fn closedness_of_subsumed_trees() {
+        // Every graph containing C-O also contains C-O-N => C-O not closed.
+        let g1 = path(&[0, 1, 2]);
+        let g2 = path(&[2, 1, 0]);
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2)];
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 1.0,
+                max_edges: 2,
+            },
+        );
+        let co = lat.get(&tree_key(&path(&[0, 1]))).expect("tracked");
+        assert!(!co.closed);
+        let con = lat.get(&tree_key(&path(&[0, 1, 2]))).expect("tracked");
+        assert!(con.closed);
+    }
+
+    #[test]
+    fn paper_example_3_3_style_closures() {
+        // Mirror of Example 3.3: with sup_min = 1/3, an edge tree that
+        // always occurs inside a larger frequent tree is not closed.
+        let g: Vec<LabeledGraph> = vec![
+            path(&[0, 1, 3]), // C-O-S
+            path(&[0, 1, 3]),
+            path(&[0, 1, 3]),
+            path(&[0, 2]), // C-N
+        ];
+        let graphs: Vec<(GraphId, &LabeledGraph)> =
+            g.iter().enumerate().map(|(i, g)| (gid(i as u64), g)).collect();
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 0.5,
+                max_edges: 3,
+            },
+        );
+        // O-S and C-O occur exactly in graphs 0..3, as does C-O-S.
+        let cos = lat.get(&tree_key(&path(&[0, 1, 3]))).expect("mined");
+        assert!(cos.closed);
+        assert!(!lat.get(&tree_key(&path(&[0, 1]))).unwrap().closed);
+        assert!(!lat.get(&tree_key(&path(&[1, 3]))).unwrap().closed);
+    }
+
+    #[test]
+    fn matches_brute_force_reference() {
+        let g1 = GraphBuilder::new()
+            .vertices(&[0, 1, 0, 2])
+            .path(&[0, 1, 2])
+            .edge(1, 3)
+            .build();
+        let g2 = path(&[0, 1, 0]);
+        let g3 = GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build(); // triangle: subtrees only
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2), (gid(3), &g3)];
+        for sup_min in [0.34, 0.5, 1.0] {
+            let cfg = MiningConfig { sup_min, max_edges: 3 };
+            let fast = mine_lattice(&graphs, &cfg);
+            let slow = mine_lattice_brute_force(&graphs, &cfg);
+            let fast_keys: Vec<_> = fast.iter().map(|(k, e)| (k.clone(), e.support.clone(), e.closed)).collect();
+            let slow_keys: Vec<_> = slow.iter().map(|(k, e)| (k.clone(), e.support.clone(), e.closed)).collect();
+            assert_eq!(fast_keys, slow_keys, "sup_min = {sup_min}");
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let lat = mine_lattice(&[], &MiningConfig::default());
+        assert!(lat.is_empty());
+        let g = path(&[0, 1]);
+        let lat2 = mine_lattice(
+            &[(gid(1), &g)],
+            &MiningConfig {
+                sup_min: 0.5,
+                max_edges: 0,
+            },
+        );
+        assert!(lat2.is_empty());
+    }
+
+    #[test]
+    fn max_edges_caps_tree_size() {
+        let g1 = path(&[0, 1, 2, 3, 0]);
+        let g2 = path(&[0, 1, 2, 3, 0]);
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2)];
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 1.0,
+                max_edges: 2,
+            },
+        );
+        assert!(lat.iter().all(|(_, e)| e.tree.edge_count() <= 2));
+        assert!(lat.iter().any(|(_, e)| e.tree.edge_count() == 2));
+    }
+
+    #[test]
+    fn branching_trees_are_found() {
+        // A claw (star) frequent in two graphs.
+        let claw = |extra: u32| {
+            GraphBuilder::new()
+                .vertices(&[0, 1, 2, 3, extra])
+                .edge(0, 1)
+                .edge(0, 2)
+                .edge(0, 3)
+                .edge(3, 4)
+                .build()
+        };
+        let g1 = claw(4);
+        let g2 = claw(5);
+        let graphs = vec![(gid(1), &g1), (gid(2), &g2)];
+        let lat = mine_lattice(
+            &graphs,
+            &MiningConfig {
+                sup_min: 1.0,
+                max_edges: 3,
+            },
+        );
+        let star = GraphBuilder::new()
+            .vertices(&[0, 1, 2, 3])
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .build();
+        assert!(lat.contains(&tree_key(&star)), "claw should be mined");
+    }
+}

@@ -1,0 +1,28 @@
+//! # midas-queryform
+//!
+//! A visual-query-formulation simulator standing in for the paper's human
+//! user study (§7.2) and its automated performance measures (§7.1).
+//!
+//! * [`steps`] — the step model: *edge-at-a-time* construction costs one
+//!   step per vertex and per edge; *pattern-at-a-time* construction places
+//!   a whole canned pattern in one drag-and-drop step, with residual
+//!   structure added edge-at-a-time. The automated model follows §7.1's
+//!   assumptions: a pattern is usable iff it embeds in the query, and used
+//!   embeddings do not overlap.
+//! * [`measures`] — missed percentage `MP` and reduction ratio `μ`.
+//! * [`study`] — the simulated user study: per-action latencies calibrated
+//!   from the paper's own worked example (Example 1.1: 41 steps / 145 s
+//!   edge-at-a-time vs 20 steps / 102 s pattern-at-a-time), visual mapping
+//!   time (VMT) per pattern selection, and per-user log-normal speed
+//!   variation across 25 simulated participants.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod measures;
+pub mod steps;
+pub mod study;
+
+pub use measures::{missed_percentage, reduction_ratio};
+pub use steps::{formulate, FormulationResult};
+pub use study::{StudyConfig, StudyResult, UserStudy};

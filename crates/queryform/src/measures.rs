@@ -1,0 +1,104 @@
+//! The automated performance measures of §7.1.
+//!
+//! * **Missed percentage** `MP = |Q_M| / |Q| × 100%` — the share of queries
+//!   containing no canned pattern at all.
+//! * **Reduction ratio** `μ = (step_X − step_MIDAS) / step_X` — positive
+//!   when the pattern set `X` needs more steps than MIDAS's.
+
+use crate::steps::formulate;
+use midas_graph::isomorphism::is_subgraph_of;
+use midas_graph::LabeledGraph;
+
+/// Missed percentage over a query set (in percent, 0–100).
+pub fn missed_percentage(queries: &[LabeledGraph], patterns: &[LabeledGraph]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    let missed = queries
+        .iter()
+        .filter(|q| !patterns.iter().any(|p| is_subgraph_of(p, q)))
+        .count();
+    missed as f64 / queries.len() as f64 * 100.0
+}
+
+/// Mean reduction ratio `μ` of `reference` (the MIDAS set) against
+/// `baseline` (the set `X`), averaged over the query set. Queries where
+/// the baseline needs zero steps (impossible for non-empty queries) are
+/// skipped.
+pub fn reduction_ratio(
+    queries: &[LabeledGraph],
+    baseline: &[LabeledGraph],
+    reference: &[LabeledGraph],
+) -> f64 {
+    let mut total = 0.0;
+    let mut counted = 0usize;
+    for q in queries {
+        let bx = formulate(q, baseline).steps;
+        let bm = formulate(q, reference).steps;
+        if bx > 0 {
+            total += (bx as f64 - bm as f64) / bx as f64;
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Mean number of formulation steps over a query set.
+pub fn mean_steps(queries: &[LabeledGraph], patterns: &[LabeledGraph]) -> f64 {
+    if queries.is_empty() {
+        return 0.0;
+    }
+    queries
+        .iter()
+        .map(|q| formulate(q, patterns).steps as f64)
+        .sum::<f64>()
+        / queries.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    #[test]
+    fn missed_percentage_counts_uncovered_queries() {
+        let queries = vec![path(&[0, 1, 2]), path(&[3, 3, 3]), path(&[0, 1])];
+        let patterns = vec![path(&[0, 1])];
+        // Covered: q0 and q2; missed: the S-chain.
+        let mp = missed_percentage(&queries, &patterns);
+        assert!((mp - 100.0 / 3.0).abs() < 1e-9);
+        assert_eq!(missed_percentage(&[], &patterns), 0.0);
+        assert_eq!(missed_percentage(&queries, &[]), 100.0);
+    }
+
+    #[test]
+    fn reduction_ratio_positive_when_reference_is_better() {
+        let queries = vec![path(&[0, 1, 2, 3]), path(&[0, 1, 2])];
+        let good = vec![path(&[0, 1, 2])];
+        let bad: Vec<LabeledGraph> = vec![];
+        let mu = reduction_ratio(&queries, &bad, &good);
+        assert!(mu > 0.0);
+        // Symmetric direction is negative.
+        let rev = reduction_ratio(&queries, &good, &bad);
+        assert!(rev < 0.0);
+        // Equal sets: zero.
+        assert_eq!(reduction_ratio(&queries, &good, &good), 0.0);
+    }
+
+    #[test]
+    fn mean_steps_averages() {
+        let queries = vec![path(&[0, 1]), path(&[0, 1, 2])];
+        // No patterns: (2+1) and (3+2) steps.
+        assert!((mean_steps(&queries, &[]) - 4.0).abs() < 1e-12);
+        assert_eq!(mean_steps(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The simulated user study (§7.2).
+//!
+//! 25 simulated participants formulate printed queries in a GUI exposing a
+//! canned-pattern panel. Latencies are calibrated against the paper's
+//! Example 1.1 (boronic acid: 41 steps / 145 s edge-at-a-time ≈ 3.5 s per
+//! atomic action; 20 steps / 102 s pattern-at-a-time ≈ 5.1 s per step with
+//! drag-and-drop + browsing overhead):
+//!
+//! * atomic action (add vertex / add edge / edit): 3.5 s;
+//! * pattern drag-and-drop: 2.5 s *plus* the visual mapping time;
+//! * visual mapping time (VMT): the time to browse and select a pattern,
+//!   `vmt = 1.5 · log₂(γ + 1)` seconds — ≈ 7.4 s for γ = 30, matching the
+//!   paper's observed [6.4, 9.4] range;
+//! * per-user speed: log-normal multiplier (σ = 0.15) around 1.
+
+use crate::steps::formulate;
+use midas_graph::LabeledGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Latency model parameters (seconds).
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Seconds per atomic action (add vertex/edge, edit).
+    pub atomic_action_secs: f64,
+    /// Seconds per pattern drag-and-drop (excluding browsing).
+    pub drag_secs: f64,
+    /// VMT scale: seconds per `log₂(γ + 1)`.
+    pub vmt_scale: f64,
+    /// Number of simulated participants.
+    pub users: usize,
+    /// Log-normal σ of per-user speed.
+    pub user_sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            atomic_action_secs: 3.5,
+            drag_secs: 2.5,
+            vmt_scale: 1.5,
+            users: 25,
+            user_sigma: 0.15,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregated study outcome for one approach.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyResult {
+    /// Mean query formulation time in seconds.
+    pub qft_secs: f64,
+    /// Mean number of formulation steps.
+    pub steps: f64,
+    /// Mean visual mapping time per pattern use, in seconds.
+    pub vmt_secs: f64,
+    /// Missed percentage over the study's query set.
+    pub missed_pct: f64,
+}
+
+/// The simulated user study.
+#[derive(Debug, Clone)]
+pub struct UserStudy {
+    config: StudyConfig,
+}
+
+impl UserStudy {
+    /// Creates a study with the given latency model.
+    pub fn new(config: StudyConfig) -> Self {
+        UserStudy { config }
+    }
+
+    /// VMT per pattern selection for a panel of `gamma` patterns.
+    pub fn vmt_per_selection(&self, gamma: usize) -> f64 {
+        self.config.vmt_scale * ((gamma as f64) + 1.0).log2()
+    }
+
+    /// Runs the study: every user formulates every query with `patterns`;
+    /// returns the aggregate.
+    pub fn run(&self, queries: &[LabeledGraph], patterns: &[LabeledGraph]) -> StudyResult {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let vmt = self.vmt_per_selection(patterns.len());
+        let mut total_qft = 0.0;
+        let mut total_steps = 0.0;
+        let mut total_vmt = 0.0;
+        let mut vmt_events = 0usize;
+        let mut formulations = 0usize;
+        // The packing is user-independent; only latency varies per user.
+        let packings: Vec<crate::steps::FormulationResult> =
+            queries.iter().map(|q| formulate(q, patterns)).collect();
+        for _ in 0..self.config.users {
+            // Log-normal speed multiplier around 1.
+            let z: f64 = standard_normal(&mut rng);
+            let speed = (self.config.user_sigma * z).exp();
+            for r in &packings {
+                let r = *r;
+                let residual_actions = r.steps - r.patterns_used;
+                let base = residual_actions as f64 * self.config.atomic_action_secs
+                    + r.patterns_used as f64 * (self.config.drag_secs + vmt);
+                total_qft += base * speed;
+                total_steps += r.steps as f64;
+                if r.patterns_used > 0 {
+                    total_vmt += vmt * speed * r.patterns_used as f64;
+                    vmt_events += r.patterns_used;
+                }
+                formulations += 1;
+            }
+        }
+        let denom = formulations.max(1) as f64;
+        StudyResult {
+            qft_secs: total_qft / denom,
+            steps: total_steps / denom,
+            vmt_secs: if vmt_events == 0 {
+                0.0
+            } else {
+                total_vmt / vmt_events as f64
+            },
+            missed_pct: crate::measures::missed_percentage(queries, patterns),
+        }
+    }
+
+    /// Runs the study for several named approaches over the same query set.
+    pub fn compare(
+        &self,
+        queries: &[LabeledGraph],
+        approaches: &[(&str, Vec<LabeledGraph>)],
+    ) -> BTreeMap<String, StudyResult> {
+        approaches
+            .iter()
+            .map(|(name, patterns)| ((*name).to_owned(), self.run(queries, patterns)))
+            .collect()
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    #[test]
+    fn vmt_matches_paper_range_for_gamma_30() {
+        let study = UserStudy::new(StudyConfig::default());
+        let vmt = study.vmt_per_selection(30);
+        assert!(
+            (6.4..=9.4).contains(&vmt),
+            "VMT {vmt} should fall in the paper's observed range"
+        );
+    }
+
+    #[test]
+    fn relevant_patterns_speed_up_formulation() {
+        let study = UserStudy::new(StudyConfig::default());
+        let queries: Vec<LabeledGraph> = (0..5).map(|_| path(&[0, 1, 2, 0, 1, 2])).collect();
+        let with = study.run(&queries, &[path(&[0, 1, 2, 0])]);
+        let without = study.run(&queries, &[]);
+        assert!(with.steps < without.steps);
+        assert!(with.qft_secs < without.qft_secs);
+        assert_eq!(without.missed_pct, 100.0);
+        assert_eq!(with.missed_pct, 0.0);
+    }
+
+    #[test]
+    fn example_1_1_scale_sanity() {
+        // A boronic-acid-sized query (19 vertices, 20 edges): edge-at-a-time
+        // should land near the paper's 145 s.
+        let labels: Vec<u32> = (0..20).map(|i| (i % 4) as u32).collect();
+        let q = {
+            let vs: Vec<u32> = (0..20).collect();
+            // 20 vertices, 19 path edges + 2 ring closures = 21 edges.
+            let mut g = GraphBuilder::new().vertices(&labels).path(&vs).build();
+            g.add_edge(0, 10);
+            g.add_edge(5, 15);
+            g
+        };
+        let study = UserStudy::new(StudyConfig {
+            users: 1,
+            user_sigma: 0.0,
+            ..StudyConfig::default()
+        });
+        let r = study.run(std::slice::from_ref(&q), &[]);
+        // 20 vertices + 21 edges = 41 steps × 3.5 s = 143.5 s.
+        assert_eq!(r.steps, 41.0);
+        assert!((r.qft_secs - 143.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compare_returns_all_approaches() {
+        let study = UserStudy::new(StudyConfig {
+            users: 3,
+            ..StudyConfig::default()
+        });
+        let queries = vec![path(&[0, 1, 2])];
+        let out = study.compare(
+            &queries,
+            &[
+                ("MIDAS", vec![path(&[0, 1, 2])]),
+                ("NoMaintain", vec![]),
+            ],
+        );
+        assert_eq!(out.len(), 2);
+        assert!(out["MIDAS"].qft_secs < out["NoMaintain"].qft_secs);
+    }
+
+    #[test]
+    fn study_is_deterministic_per_seed() {
+        let study = UserStudy::new(StudyConfig::default());
+        let queries = vec![path(&[0, 1, 2, 0])];
+        let a = study.run(&queries, &[path(&[0, 1])]);
+        let b = study.run(&queries, &[path(&[0, 1])]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared display helpers for the MIDAS examples.
+
+use midas_graph::{Interner, LabeledGraph};
+
+/// Renders a pattern as `[labels] |V|=n |E|=m edges: ...`.
+pub fn render_pattern(pattern: &LabeledGraph, interner: &Interner) -> String {
+    let labels: Vec<String> = pattern
+        .labels()
+        .iter()
+        .map(|&l| interner.name_or_placeholder(l))
+        .collect();
+    let edges: Vec<String> = pattern
+        .edges()
+        .iter()
+        .map(|&(u, v)| format!("{u}-{v}"))
+        .collect();
+    format!(
+        "[{}] |V|={} |E|={} edges: {}",
+        labels.join(" "),
+        pattern.vertex_count(),
+        pattern.edge_count(),
+        edges.join(" ")
+    )
+}
+
+/// Prints a pattern set with a title.
+pub fn print_patterns(title: &str, patterns: &[LabeledGraph], interner: &Interner) {
+    println!("{title} ({} patterns):", patterns.len());
+    for (i, p) in patterns.iter().enumerate() {
+        println!("  p{:<2} {}", i + 1, render_pattern(p, interner));
+    }
+}

@@ -1,0 +1,88 @@
+//! Periodic-update simulation: daily batches hit the repository for two
+//! simulated weeks; MIDAS classifies each as major/minor and maintains
+//! opportunely — most days cost almost nothing.
+//!
+//! ```sh
+//! cargo run -p midas-examples --bin streaming_updates
+//! ```
+
+use midas_core::{Midas, MidasConfig, ModificationKind};
+use midas_datagen::updates::{deletion_percent, growth_percent};
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+
+/// Local copy of the bench formatter (examples do not depend on the bench
+/// crate).
+mod midas_bench_shim {
+    pub fn fmt_duration(d: std::time::Duration) -> String {
+        if d.as_millis() >= 1 {
+            format!("{}ms", d.as_millis())
+        } else {
+            format!("{}µs", d.as_micros())
+        }
+    }
+}
+
+fn main() {
+    let kind = DatasetKind::PubchemLike;
+    let dataset = DatasetSpec::new(kind, 250, 41).generate();
+    let config = MidasConfig {
+        budget: midas_catapult::PatternBudget {
+            eta_min: 3,
+            eta_max: 6,
+            gamma: 10,
+        },
+        sup_min: 0.4,
+        max_tree_edges: 3,
+        coarse_clusters: 5,
+        epsilon: 0.01,
+        ..MidasConfig::default()
+    };
+    let mut midas = Midas::bootstrap(dataset.db, config).expect("non-empty");
+    println!(
+        "day  0: bootstrap, {} graphs, {} patterns\n",
+        midas.db().len(),
+        midas.patterns().len()
+    );
+
+    let mut majors = 0;
+    for day in 1..=14u64 {
+        // Most days: ordinary growth and the occasional cleanup. Every
+        // fifth day a novel family wave lands.
+        let update = match day % 5 {
+            0 => midas_datagen::novel_family_batch(
+                if day % 2 == 0 {
+                    MotifKind::BoronicEster
+                } else {
+                    MotifKind::Phosphate
+                },
+                midas.db().len() / 5,
+                1_000 + day,
+            ),
+            3 => deletion_percent(midas.db(), 5.0, 1_000 + day),
+            _ => growth_percent(&kind.params(), midas.db(), 5.0, 1_000 + day),
+        };
+        let adds = update.insert.len();
+        let dels = update.delete.len();
+        let report = midas.apply_batch(update);
+        if report.kind == ModificationKind::Major {
+            majors += 1;
+        }
+        println!(
+            "day {day:>2}: +{adds:<3} -{dels:<3} drift {:.4} -> {:?} (PMT {}, swaps {})",
+            report.distance,
+            report.kind,
+            midas_bench_shim::fmt_duration(report.pattern_maintenance_time),
+            report.swaps
+        );
+    }
+    let quality = midas.quality();
+    println!(
+        "\nafter 14 days: {} graphs, {majors} major maintenance events,\n\
+         pattern quality scov={:.2} lcov={:.2} div={:.2} cog={:.2}",
+        midas.db().len(),
+        quality.scov,
+        quality.lcov,
+        quality.div,
+        quality.cog
+    );
+}

@@ -1,0 +1,78 @@
+//! Integration of the formulation simulator with real maintenance output:
+//! MP, μ and the study pipeline over generated workloads.
+
+use midas_core::Midas;
+use midas_datagen::updates::novel_family_batch;
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+use midas_graph::GraphId;
+use midas_queryform::{formulate, missed_percentage, reduction_ratio, StudyConfig, UserStudy};
+use midas_tests::test_config;
+use std::collections::BTreeSet;
+
+#[test]
+fn maintained_patterns_never_increase_steps_on_delta_queries() {
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 100, 11).generate().db;
+    let mut midas = Midas::bootstrap(db, test_config(11)).expect("non-empty");
+    let stale = midas.patterns();
+    let before: BTreeSet<GraphId> = midas.db().ids().collect();
+    midas.apply_batch(novel_family_batch(MotifKind::BoronicEster, 40, 111));
+    let inserted: Vec<GraphId> = midas.db().ids().filter(|id| !before.contains(id)).collect();
+    let queries = midas_datagen::balanced_query_set(midas.db(), &inserted, 30, (4, 10), 112);
+
+    let mu = reduction_ratio(&queries, &stale, &midas.patterns());
+    // μ ≥ 0: the maintained set is at least as good on balanced queries.
+    // (Strict improvement depends on seeds; non-regression must hold.)
+    assert!(mu >= -1e-9, "maintained patterns regressed: mu = {mu}");
+
+    let mp_fresh = missed_percentage(&queries, &midas.patterns());
+    let mp_stale = missed_percentage(&queries, &stale);
+    assert!(mp_fresh <= mp_stale + 1e-9, "{mp_fresh} vs {mp_stale}");
+}
+
+#[test]
+fn formulation_steps_bounded_by_edge_mode() {
+    let db = DatasetSpec::new(DatasetKind::AidsLike, 60, 12).generate().db;
+    let midas = Midas::bootstrap(db, test_config(12)).expect("non-empty");
+    let queries = midas_datagen::query_set(midas.db(), 25, (3, 12), 121);
+    for q in &queries {
+        let r = formulate(q, &midas.patterns());
+        assert!(r.steps <= r.edge_steps);
+        assert_eq!(r.edge_steps, q.vertex_count() + q.edge_count());
+        assert!(r.covered_edges <= q.edge_count());
+        assert!(r.covered_vertices <= q.vertex_count());
+    }
+}
+
+#[test]
+fn study_pipeline_end_to_end() {
+    let db = DatasetSpec::new(DatasetKind::EmolLike, 60, 13).generate().db;
+    let mut midas = Midas::bootstrap(db, test_config(13)).expect("non-empty");
+    midas.apply_batch(novel_family_batch(MotifKind::Thiol, 20, 131));
+    let queries = midas_datagen::query_set(midas.db(), 15, (4, 10), 132);
+    let study = UserStudy::new(StudyConfig {
+        users: 5,
+        ..StudyConfig::default()
+    });
+    let with_patterns = study.run(&queries, &midas.patterns());
+    let without = study.run(&queries, &[]);
+    assert!(with_patterns.steps <= without.steps);
+    assert!(with_patterns.qft_secs <= without.qft_secs);
+    assert_eq!(without.vmt_secs, 0.0, "no panel, no browsing time");
+    assert!(with_patterns.missed_pct <= 100.0);
+}
+
+#[test]
+fn mp_is_monotone_in_pattern_set() {
+    // Adding patterns can only reduce the missed percentage.
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 50, 14).generate().db;
+    let midas = Midas::bootstrap(db, test_config(14)).expect("non-empty");
+    let patterns = midas.patterns();
+    let queries = midas_datagen::query_set(midas.db(), 20, (3, 8), 141);
+    let mut previous = 100.0f64;
+    for take in 0..=patterns.len() {
+        let subset = &patterns[..take];
+        let mp = missed_percentage(&queries, subset);
+        assert!(mp <= previous + 1e-9, "MP rose when adding a pattern");
+        previous = mp;
+    }
+}
