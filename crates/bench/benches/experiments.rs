@@ -34,7 +34,9 @@ fn config(seed: u64) -> MidasConfig {
 }
 
 fn dataset(n: usize) -> GraphDb {
-    DatasetSpec::new(DatasetKind::PubchemLike, n, 3).generate().db
+    DatasetSpec::new(DatasetKind::PubchemLike, n, 3)
+        .generate()
+        .db
 }
 
 fn bench_pmt(c: &mut Criterion) {

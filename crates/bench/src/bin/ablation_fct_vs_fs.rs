@@ -50,7 +50,15 @@ fn main() {
     }
     print_table(
         "Ablation: FCT vs FS feature bases (sup_min = 0.4)",
-        &["dataset", "|FS|", "|FCT|", "FCT/FS", "FS dims", "FCT dims", "mine time"],
+        &[
+            "dataset",
+            "|FS|",
+            "|FCT|",
+            "FCT/FS",
+            "FS dims",
+            "FCT dims",
+            "mine time",
+        ],
         &rows,
     );
     println!(

@@ -36,6 +36,7 @@ fn main() {
         db: midas.db(),
         sample: &sample,
         catalog: &midas.fct_state().edges,
+        kernel: Some(midas.kernel()),
     };
     let csgs: Vec<WeightedCsg> = midas
         .clusters()
@@ -54,8 +55,14 @@ fn main() {
     // Pruned (MIDAS).
     let t = Instant::now();
     let mut rng = StdRng::seed_from_u64(7_700);
-    let pruned =
-        generate_promising_candidates(&csgs, midas.pattern_store(), &ctx, &state, &params, &mut rng);
+    let pruned = generate_promising_candidates(
+        &csgs,
+        midas.pattern_store(),
+        &ctx,
+        &state,
+        &params,
+        &mut rng,
+    );
     let pruned_time = t.elapsed();
 
     // Unpruned (CATAPULT-style): same walks and sizes, pass-through hook,
@@ -81,12 +88,7 @@ fn main() {
     let threshold = ((1.0 + params.kappa) * state.min_exclusive as f64).ceil() as usize;
     let promising = unpruned
         .iter()
-        .filter(|c| {
-            ctx.covered(c)
-                .difference(&state.covered_union)
-                .count()
-                >= threshold
-        })
+        .filter(|c| ctx.covered(c).difference(&state.covered_union).count() >= threshold)
         .count();
 
     print_table(

@@ -17,7 +17,9 @@ use rand::SeedableRng;
 
 fn main() {
     // Database: PubChem-like, then a boronic-ester wave arrives.
-    let db = DatasetSpec::new(DatasetKind::PubchemLike, 200, 21).generate().db;
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 200, 21)
+        .generate()
+        .db;
     let config = experiment_config(21);
     let mut midas = Midas::bootstrap(db, config).expect("non-empty");
     let stale = midas.patterns();
@@ -54,7 +56,10 @@ fn main() {
         vec![
             "edge-at-a-time".into(),
             edge_mode.steps.to_string(),
-            format!("{:.0}s", study.run(std::slice::from_ref(&query), &[]).qft_secs),
+            format!(
+                "{:.0}s",
+                study.run(std::slice::from_ref(&query), &[]).qft_secs
+            ),
         ],
         vec![
             "stale patterns (pre-update)".into(),

@@ -18,7 +18,11 @@ fn main() {
     let config = experiment_config(9);
     let mut bench = BaselineBench::bootstrap(db, config);
     // +26% novel-family batch (6K on 23K).
-    let update = novel_family_batch(MotifKind::BoronicEster, bench.midas.db().len() * 26 / 100, 90);
+    let update = novel_family_batch(
+        MotifKind::BoronicEster,
+        bench.midas.db().len() * 26 / 100,
+        90,
+    );
 
     // Snapshot Δ⁺ ids by applying to a scratch copy first (the bench applies
     // the same update to its pipelines).
@@ -26,10 +30,7 @@ fn main() {
     let (inserted, _) = probe.apply(update.clone());
 
     // Query sets: Qs1 from D, Qs2 mixed (2 old + 3 new), Qs3 from Δ⁺.
-    let old_ids: Vec<GraphId> = probe
-        .ids()
-        .filter(|id| !inserted.contains(id))
-        .collect();
+    let old_ids: Vec<GraphId> = probe.ids().filter(|id| !inserted.contains(id)).collect();
     let qs1 = draw(&probe, &old_ids, 5, 901);
     let mut qs2 = draw(&probe, &old_ids, 2, 902);
     qs2.extend(draw(&probe, &inserted, 3, 903));
@@ -43,7 +44,11 @@ fn main() {
         .collect();
 
     let study = UserStudy::new(StudyConfig::default());
-    for (set_name, queries) in [("Qs 1 (from D)", &qs1), ("Qs 2 (mixed)", &qs2), ("Qs 3 (from Δ+)", &qs3)] {
+    for (set_name, queries) in [
+        ("Qs 1 (from D)", &qs1),
+        ("Qs 2 (mixed)", &qs2),
+        ("Qs 3 (from Δ+)", &qs3),
+    ] {
         let results = study.compare(queries, &approaches);
         let mut table = Vec::new();
         for (name, r) in &results {
@@ -73,7 +78,8 @@ fn draw(db: &midas_graph::GraphDb, pool: &[GraphId], count: usize, seed: u64) ->
     let all: Vec<GraphId> = db.ids().collect();
     let pool = if pool.is_empty() { &all } else { pool };
     let sub = midas_graph::GraphDb::from_graphs(
-        pool.iter().map(|id| db.get(*id).expect("live").as_ref().clone()),
+        pool.iter()
+            .map(|id| db.get(*id).expect("live").as_ref().clone()),
     );
     midas_datagen::query_set(&sub, count, (8, 16), seed)
 }

@@ -26,8 +26,11 @@ fn main() {
         let mut config = experiment_config(11);
         config.epsilon = epsilon;
         let mut midas = Midas::bootstrap(db.clone(), config).expect("non-empty");
-        let update =
-            midas_datagen::novel_family_batch(midas_datagen::MotifKind::BoronicEster, batch_size, 42);
+        let update = midas_datagen::novel_family_batch(
+            midas_datagen::MotifKind::BoronicEster,
+            batch_size,
+            42,
+        );
         let report = midas.apply_batch(update);
         rows.push(vec![
             format!("{epsilon}"),

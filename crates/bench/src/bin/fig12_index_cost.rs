@@ -21,7 +21,11 @@ fn main() {
         max_edges: 3,
     };
     let mut rows = Vec::new();
-    for (label, size) in [("PubChem100K/500", 200), ("PubChem500K/500", 1_000), ("PubChem1M/500", 2_000)] {
+    for (label, size) in [
+        ("PubChem100K/500", 200),
+        ("PubChem500K/500", 1_000),
+        ("PubChem1M/500", 2_000),
+    ] {
         let db = DatasetSpec::new(kind, size, 12).generate().db;
         // FCT mining time.
         let t = Instant::now();
@@ -86,7 +90,13 @@ fn main() {
     print_table(
         "Fig 12: FCT & index costs across dataset scales (PubChem-like)",
         &[
-            "dataset", "|D|", "FCT mine", "|FCT|", "idx build", "idx mem", "FCT maint (+5%)",
+            "dataset",
+            "|D|",
+            "FCT mine",
+            "|FCT|",
+            "idx build",
+            "idx mem",
+            "FCT maint (+5%)",
             "idx maint (+5%)",
         ],
         &rows,

@@ -88,8 +88,15 @@ fn main() {
     print_table(
         "Fig 13: MIDAS vs NoMaintain on AIDS-like (MP / scov / div per batch)",
         &[
-            "batch", "kind", "MP midas", "MP stale", "scov midas", "scov stale", "div midas",
-            "div stale", "swaps",
+            "batch",
+            "kind",
+            "MP midas",
+            "MP stale",
+            "scov midas",
+            "scov stale",
+            "div midas",
+            "div stale",
+            "swaps",
         ],
         &rows,
     );

@@ -8,7 +8,11 @@ use midas_datagen::updates::novel_family_batch;
 use midas_datagen::{DatasetKind, MotifKind};
 
 fn main() {
-    run(DatasetKind::AidsLike, 25_000, "Fig 14: baselines on AIDS-like");
+    run(
+        DatasetKind::AidsLike,
+        25_000,
+        "Fig 14: baselines on AIDS-like",
+    );
 }
 
 /// Shared by fig14 (AIDS) and fig15 (PubChem).
@@ -43,7 +47,17 @@ pub fn run(kind: DatasetKind, paper_size: usize, title: &str) {
         .collect();
     print_table(
         title,
-        &["approach", "time", "MP", "steps", "mu(MIDAS vs X)", "scov", "lcov", "div", "cog"],
+        &[
+            "approach",
+            "time",
+            "MP",
+            "steps",
+            "mu(MIDAS vs X)",
+            "scov",
+            "lcov",
+            "div",
+            "cog",
+        ],
         &table,
     );
     println!(

@@ -37,7 +37,17 @@ fn main() {
         .collect();
     print_table(
         "Fig 15: baselines on PubChem-like",
-        &["approach", "time", "MP", "steps", "mu(MIDAS vs X)", "scov", "lcov", "div", "cog"],
+        &[
+            "approach",
+            "time",
+            "MP",
+            "steps",
+            "mu(MIDAS vs X)",
+            "scov",
+            "lcov",
+            "div",
+            "cog",
+        ],
         &table,
     );
 }

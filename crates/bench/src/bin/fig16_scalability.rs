@@ -28,10 +28,10 @@ fn main() {
         let quality = midas.quality();
         // CATAPULT rebuild on the evolved database for the speedup column.
         let scratch = catapult_from_scratch(midas.db(), &config);
-        let speedup_pmt =
-            scratch.total_time.as_secs_f64() / report.pattern_maintenance_time.as_secs_f64().max(1e-9);
-        let speedup_cluster = scratch.clustering_time.as_secs_f64()
-            / report.clustering_time.as_secs_f64().max(1e-9);
+        let speedup_pmt = scratch.total_time.as_secs_f64()
+            / report.pattern_maintenance_time.as_secs_f64().max(1e-9);
+        let speedup_cluster =
+            scratch.clustering_time.as_secs_f64() / report.clustering_time.as_secs_f64().max(1e-9);
         rows.push(vec![
             label.to_owned(),
             midas.db().len().to_string(),
@@ -49,8 +49,17 @@ fn main() {
     print_table(
         "Fig 16: scalability on PubChem-like (+20% novel batch per scale)",
         &[
-            "dataset", "|D|", "PMT", "PGT", "CATAPULT rebuild", "PMT speedup",
-            "cluster speedup", "scov", "lcov", "div", "cog",
+            "dataset",
+            "|D|",
+            "PMT",
+            "PGT",
+            "CATAPULT rebuild",
+            "PMT speedup",
+            "cluster speedup",
+            "scov",
+            "lcov",
+            "div",
+            "cog",
         ],
         &rows,
     );

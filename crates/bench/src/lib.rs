@@ -102,18 +102,42 @@ impl BaselineBench {
         let mut rows = Vec::new();
         // MIDAS.
         let report = self.midas.apply_batch(update.clone());
-        rows.push(self.row("MIDAS", report.pattern_maintenance_time, self.midas.patterns(), queries, &self.midas));
+        rows.push(self.row(
+            "MIDAS",
+            report.pattern_maintenance_time,
+            self.midas.patterns(),
+            queries,
+            &self.midas,
+        ));
         // Random (same pipeline, random swapping).
         let report = self
             .random
             .apply_batch_with_strategy(update.clone(), SwapStrategy::Random);
-        rows.push(self.row("Random", report.pattern_maintenance_time, self.random.patterns(), queries, &self.random));
+        rows.push(self.row(
+            "Random",
+            report.pattern_maintenance_time,
+            self.random.patterns(),
+            queries,
+            &self.random,
+        ));
         // From-scratch baselines run on MIDAS's (already updated) database.
         let db = self.midas.db().clone();
         let scratch = catapult_from_scratch(&db, &self.config);
-        rows.push(self.row("CATAPULT", scratch.total_time, scratch.patterns, queries, &self.midas));
+        rows.push(self.row(
+            "CATAPULT",
+            scratch.total_time,
+            scratch.patterns,
+            queries,
+            &self.midas,
+        ));
         let scratch_pp = catapult_pp_from_scratch(&db, &self.config);
-        rows.push(self.row("CATAPULT++", scratch_pp.total_time, scratch_pp.patterns, queries, &self.midas));
+        rows.push(self.row(
+            "CATAPULT++",
+            scratch_pp.total_time,
+            scratch_pp.patterns,
+            queries,
+            &self.midas,
+        ));
         // NoMaintain: zero maintenance cost, stale patterns.
         rows.push(self.row(
             "NoMaintain",
@@ -134,12 +158,8 @@ impl BaselineBench {
         world: &Midas,
     ) -> ApproachRow {
         let universe: std::collections::BTreeSet<GraphId> = world.db().ids().collect();
-        let quality = midas_core::quality_of(
-            &patterns,
-            world.db(),
-            &world.fct_state().edges,
-            &universe,
-        );
+        let quality =
+            midas_core::quality_of(&patterns, world.db(), &world.fct_state().edges, &universe);
         ApproachRow {
             name: name.to_owned(),
             time,

@@ -145,8 +145,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let stats = random_walks(&csg, 100, 8, &mut rng);
         for size in 1..=4 {
-            let fcp = generate_fcp(&csg, &stats, size, 0, &mut *no_hook())
-                .expect("csg big enough");
+            let fcp = generate_fcp(&csg, &stats, size, 0, &mut *no_hook()).expect("csg big enough");
             assert_eq!(fcp.edge_count(), size);
             assert!(fcp.is_connected());
         }

@@ -8,7 +8,7 @@
 
 use midas_graph::ged::ged_tight_lower_bound;
 use midas_graph::isomorphism::is_subgraph_of;
-use midas_graph::LabeledGraph;
+use midas_graph::{LabeledGraph, MatchKernel};
 use midas_mining::EdgeCatalog;
 use std::collections::BTreeSet;
 
@@ -109,14 +109,52 @@ pub fn set_quality(
     catalog: &EdgeCatalog,
     universe: &BTreeSet<midas_graph::GraphId>,
 ) -> SetQuality {
+    set_quality_impl(patterns, db, catalog, universe, None)
+}
+
+/// [`set_quality`] with the `f_scov` containment scan routed through a
+/// parallel + memoized kernel. Identical result, much cheaper when the same
+/// patterns are evaluated over overlapping universes batch after batch.
+pub fn set_quality_with(
+    kernel: &MatchKernel,
+    patterns: &[LabeledGraph],
+    db: &midas_graph::GraphDb,
+    catalog: &EdgeCatalog,
+    universe: &BTreeSet<midas_graph::GraphId>,
+) -> SetQuality {
+    set_quality_impl(patterns, db, catalog, universe, Some(kernel))
+}
+
+fn set_quality_impl(
+    patterns: &[LabeledGraph],
+    db: &midas_graph::GraphDb,
+    catalog: &EdgeCatalog,
+    universe: &BTreeSet<midas_graph::GraphId>,
+    kernel: Option<&MatchKernel>,
+) -> SetQuality {
     let denom = universe.len().max(1) as f64;
-    let covered = universe
-        .iter()
-        .filter(|&&id| {
-            let g = db.get(id).expect("live id");
-            patterns.iter().any(|p| is_subgraph_of(p, g))
-        })
-        .count();
+    let covered = match kernel {
+        Some(kernel) => {
+            let graphs: Vec<(midas_graph::GraphId, &LabeledGraph)> = universe
+                .iter()
+                .map(|&id| (id, db.get(id).expect("live id").as_ref()))
+                .collect();
+            let prepared: Vec<midas_graph::CachedPattern> =
+                patterns.iter().map(|p| kernel.prepare(p)).collect();
+            kernel
+                .any_covered_in(&prepared, &graphs)
+                .into_iter()
+                .filter(|&hit| hit)
+                .count()
+        }
+        None => universe
+            .iter()
+            .filter(|&&id| {
+                let g = db.get(id).expect("live id");
+                patterns.iter().any(|p| is_subgraph_of(p, g))
+            })
+            .count(),
+    };
     let mut label_union: BTreeSet<midas_graph::GraphId> = BTreeSet::new();
     for p in patterns {
         for label in p.edge_labels() {
@@ -242,10 +280,7 @@ mod tests {
             cog: 4.0,
         };
         assert!((pattern_score(parts) - 0.2).abs() < 1e-12);
-        let zero_cog = PatternScoreParts {
-            cog: 0.0,
-            ..parts
-        };
+        let zero_cog = PatternScoreParts { cog: 0.0, ..parts };
         assert!(pattern_score(zero_cog).is_finite() || pattern_score(zero_cog) > 0.0);
     }
 

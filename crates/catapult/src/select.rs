@@ -133,10 +133,7 @@ pub fn select_patterns(
                         cog: candidate.cognitive_load(),
                     };
                     let score = pattern_score(parts);
-                    if best
-                        .as_ref()
-                        .is_none_or(|(b, _, _)| score > *b)
-                    {
+                    if best.as_ref().is_none_or(|(b, _, _)| score > *b) {
                         best = Some((score, candidate, ci));
                     }
                 }
@@ -190,9 +187,7 @@ mod tests {
 
     fn chain_db() -> GraphDb {
         // Long chains so size-3 patterns exist.
-        GraphDb::from_graphs(
-            (0..8).map(|i| path(&[0, 1, 2, 0, 1, (i % 3) as u32])),
-        )
+        GraphDb::from_graphs((0..8).map(|i| path(&[0, 1, 2, 0, 1, (i % 3) as u32])))
     }
 
     #[test]
@@ -268,8 +263,7 @@ mod tests {
     fn empty_database_selects_nothing() {
         let db = GraphDb::new();
         let (clusters, catalog) = build_world(&db);
-        let patterns =
-            select_patterns(&clusters, &catalog, 0, &SelectionConfig::default());
+        let patterns = select_patterns(&clusters, &catalog, 0, &SelectionConfig::default());
         assert!(patterns.is_empty());
     }
 

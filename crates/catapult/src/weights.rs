@@ -95,12 +95,8 @@ mod tests {
         // DB has 4 graphs total; C-O in 2, O-N in 1 (others elsewhere).
         let g3 = path(&[3, 3]);
         let g4 = path(&[3, 4]);
-        let catalog = EdgeCatalog::build([
-            (gid(1), &g1),
-            (gid(2), &g2),
-            (gid(3), &g3),
-            (gid(4), &g4),
-        ]);
+        let catalog =
+            EdgeCatalog::build([(gid(1), &g1), (gid(2), &g2), (gid(3), &g3), (gid(4), &g4)]);
         let weighted = WeightedCsg::build(&csg, &catalog, 4);
         assert_eq!(weighted.graph.edge_count(), 2);
         for (i, &(u, v)) in weighted.graph.edges().iter().enumerate() {

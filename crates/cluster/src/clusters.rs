@@ -305,10 +305,7 @@ impl ClusterSet {
     /// are dropped.
     pub fn remove(&mut self, id: GraphId, graph: &LabeledGraph) -> Option<ClusterId> {
         let cid = self.membership.remove(&id)?;
-        let v = self
-            .member_vectors
-            .remove(&id)
-            .unwrap_or_default();
+        let v = self.member_vectors.remove(&id).unwrap_or_default();
         let cluster = self.clusters.get_mut(&cid).expect("membership consistent");
         cluster.members.remove(&id);
         cluster.csg.remove_graph(id, graph);
@@ -372,32 +369,10 @@ fn norm2(c: &[f64]) -> f64 {
     c.iter().map(|x| x * x).sum()
 }
 
-/// Builds one CSG per group, distributing groups across threads with
-/// crossbeam's scoped threads.
+/// Builds one CSG per group, distributing groups across threads with the
+/// shared execution helpers ([`midas_graph::exec`]).
 fn build_csgs_parallel(db: &GraphDb, groups: &[Vec<GraphId>]) -> Vec<ClosureGraph> {
-    if groups.is_empty() {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(groups.len());
-    if threads <= 1 || groups.len() == 1 {
-        return groups.iter().map(|g| build_one_csg(db, g)).collect();
-    }
-    let mut out: Vec<Option<ClosureGraph>> = vec![None; groups.len()];
-    crossbeam::thread::scope(|scope| {
-        for (chunk_idx, chunk) in out.chunks_mut(groups.len().div_ceil(threads)).enumerate() {
-            let chunk_start = chunk_idx * groups.len().div_ceil(threads);
-            scope.spawn(move |_| {
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    *slot = Some(build_one_csg(db, &groups[chunk_start + offset]));
-                }
-            });
-        }
-    })
-    .expect("csg workers do not panic");
-    out.into_iter().map(|c| c.expect("filled")).collect()
+    midas_graph::exec::par_map(0, groups, |group| build_one_csg(db, group))
 }
 
 fn build_one_csg(db: &GraphDb, group: &[GraphId]) -> ClosureGraph {
@@ -522,7 +497,14 @@ mod tests {
         assert_eq!(affected.len(), 1);
         let cid = set.cluster_of(id).unwrap();
         // Its cluster must be the C-O one.
-        let peer = set.get(cid).unwrap().members().iter().next().copied().unwrap();
+        let peer = set
+            .get(cid)
+            .unwrap()
+            .members()
+            .iter()
+            .next()
+            .copied()
+            .unwrap();
         let peer_labels: BTreeSet<u32> = db.get(peer).unwrap().labels().iter().copied().collect();
         assert!(peer_labels.contains(&0));
         // Dirty flag set.

@@ -32,10 +32,8 @@ pub struct CoverageState {
 
 /// Computes the coverage state of `store` over the sample.
 pub fn coverage_state(store: &PatternStore, ctx: &ScovContext<'_>) -> CoverageState {
-    let per_pattern: Vec<(midas_index::PatternId, BTreeSet<GraphId>)> = store
-        .iter()
-        .map(|(id, p)| (id, ctx.covered(p)))
-        .collect();
+    let per_pattern: Vec<(midas_index::PatternId, BTreeSet<GraphId>)> =
+        store.iter().map(|(id, p)| (id, ctx.covered(p))).collect();
     let mut covered_union = BTreeSet::new();
     for (_, covered) in &per_pattern {
         covered_union.extend(covered.iter().copied());
@@ -94,18 +92,13 @@ pub fn generate_promising_candidates(
             // catalog through the context.
             let mut hook = |_partial: &[(u32, u32)], next: (u32, u32)| {
                 let label = csg.graph.edge_label(next.0, next.1);
-                let marginal = ctx
-                    .catalog
-                    .get(label)
-                    .map_or(0, |stats| {
-                        stats
-                            .support
-                            .iter()
-                            .filter(|id| {
-                                ctx.sample.contains(id) && !state.covered_union.contains(id)
-                            })
-                            .count()
-                    });
+                let marginal = ctx.catalog.get(label).map_or(0, |stats| {
+                    stats
+                        .support
+                        .iter()
+                        .filter(|id| ctx.sample.contains(id) && !state.covered_union.contains(id))
+                        .count()
+                });
                 marginal >= threshold
             };
             for candidate in
@@ -187,6 +180,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         }
     }
 
@@ -297,9 +291,7 @@ mod tests {
         let candidates =
             generate_promising_candidates(&[csg], &store, &c, &state, &params(0.1), &mut rng);
         assert!(
-            candidates
-                .iter()
-                .any(|p| p.sorted_labels().contains(&3)),
+            candidates.iter().any(|p| p.sorted_labels().contains(&3)),
             "S-family candidate expected: {candidates:?}"
         );
     }

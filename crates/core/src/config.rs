@@ -42,6 +42,10 @@ pub struct MidasConfig {
     /// main panel when `η_min ≤ 2` would otherwise be wanted (§3.1 Remark;
     /// see [`crate::small_patterns`]). Zero disables the feature.
     pub small_pattern_slots: usize,
+    /// Worker threads for the parallel isomorphism kernel. `0` means auto:
+    /// the `MIDAS_THREADS` environment variable if set, otherwise the
+    /// machine's available parallelism.
+    pub threads: usize,
     /// Master RNG seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -64,6 +68,7 @@ impl Default for MidasConfig {
             mwu_penalty: 0.5,
             ks_alpha: 0.05,
             small_pattern_slots: 0,
+            threads: 0,
             seed: 0,
         }
     }

@@ -26,7 +26,7 @@ use crate::swap::{multi_scan_swap, SwapParams};
 use midas_catapult::score::SetQuality;
 use midas_catapult::{select_patterns, WeightedCsg};
 use midas_cluster::{ClusterSet, FeatureSpace};
-use midas_graph::{BatchUpdate, GraphDb, GraphId, LabeledGraph};
+use midas_graph::{BatchUpdate, GraphDb, GraphId, LabeledGraph, MatchKernel};
 use midas_index::{FctIndex, IfeIndex, PatternId};
 use midas_mining::incremental::FctState;
 use midas_mining::TreeKey;
@@ -88,6 +88,7 @@ pub struct Midas {
     fct_index: FctIndex,
     ife_index: IfeIndex,
     patterns: PatternStore,
+    kernel: MatchKernel,
     batch_counter: u64,
 }
 
@@ -111,7 +112,8 @@ impl Midas {
             &config.selection(),
         ));
         let monitor = GraphletMonitor::build(&db);
-        let (fct_index, ife_index) = build_indices(&db, &fct_state, &patterns, &config);
+        let kernel = MatchKernel::new(config.threads);
+        let (fct_index, ife_index) = build_indices(&db, &fct_state, &patterns, &config, &kernel);
         let mut midas = Midas {
             config,
             db,
@@ -121,6 +123,7 @@ impl Midas {
             fct_index,
             ife_index,
             patterns,
+            kernel,
             batch_counter: 0,
         };
         midas.clusters.take_dirty(); // fresh clusters are not "modified"
@@ -178,10 +181,18 @@ impl Midas {
         &self.ife_index
     }
 
+    /// The parallel + memoized isomorphism kernel shared by every hot
+    /// `(graph × pattern)` scan. Its cache is invalidated per graph as
+    /// batches arrive, so answers are always current.
+    pub fn kernel(&self) -> &MatchKernel {
+        &self.kernel
+    }
+
     /// Pattern-set quality over a fresh sample of the current database.
     pub fn quality(&self) -> SetQuality {
         let sample = self.sample();
-        crate::metrics::quality_of(
+        crate::metrics::quality_of_with(
+            &self.kernel,
             &self.patterns.graphs(),
             &self.db,
             &self.fct_state.edges,
@@ -282,6 +293,7 @@ impl Midas {
                 db: &self.db,
                 sample: &sample,
                 catalog: &self.fct_state.edges,
+                kernel: Some(&self.kernel),
             };
             let csgs: Vec<WeightedCsg> = dirty
                 .iter()
@@ -377,16 +389,29 @@ impl Midas {
     }
 
     /// Refreshes both indices after a batch: graph columns for `Δ⁺`/`Δ⁻`
-    /// and feature rows against the current FCT ∪ frequent-edge set.
+    /// and feature rows against the current FCT ∪ frequent-edge set. The
+    /// embedding cache is invalidated per touched graph first, then the
+    /// inserted TG columns are filled in one parallel kernel pass.
     fn maintain_indices(&mut self, inserted: &[GraphId], deleted: &[GraphId]) {
+        for &id in deleted.iter().chain(inserted) {
+            self.kernel.invalidate_graph(id);
+        }
         for &id in deleted {
             self.fct_index.remove_graph(id);
             self.ife_index.remove_graph(id);
         }
-        for &id in inserted {
-            let graph = self.db.get(id).expect("inserted id").clone();
-            self.fct_index.add_graph(id, &graph);
-            self.ife_index.add_graph(id, &graph);
+        let inserted_graphs: Vec<(GraphId, Arc<LabeledGraph>)> = inserted
+            .iter()
+            .map(|&id| (id, self.db.get(id).expect("inserted id").clone()))
+            .collect();
+        let inserted_refs: Vec<(GraphId, &LabeledGraph)> = inserted_graphs
+            .iter()
+            .map(|(id, g)| (*id, g.as_ref()))
+            .collect();
+        self.fct_index
+            .add_graphs_kernel(&self.kernel, &inserted_refs);
+        for (id, graph) in &inserted_graphs {
+            self.ife_index.add_graph(*id, graph);
         }
         // Feature rows: FCT ∪ E_freq (Def. 5.1); IFE rows: E_inf (Def. 5.2).
         let db_len = self.db.len();
@@ -412,17 +437,11 @@ impl Midas {
                 target.push((k.clone(), t));
             }
         }
-        let graph_refs: Vec<(GraphId, &LabeledGraph)> = self
-            .db
-            .iter()
-            .map(|(id, g)| (id, g.as_ref()))
-            .collect();
+        let graph_refs: Vec<(GraphId, &LabeledGraph)> =
+            self.db.iter().map(|(id, g)| (id, g.as_ref())).collect();
         let pattern_refs: Vec<(PatternId, &LabeledGraph)> = self.patterns.iter().collect();
-        self.fct_index.refresh_features(
-            &target,
-            graph_refs.iter().copied(),
-            pattern_refs.iter().copied(),
-        );
+        self.fct_index
+            .refresh_features_kernel(&self.kernel, &target, &graph_refs, &pattern_refs);
         let infrequent: BTreeSet<midas_graph::EdgeLabel> = self
             .fct_state
             .edges
@@ -452,6 +471,7 @@ fn build_indices(
     fct_state: &FctState,
     patterns: &PatternStore,
     config: &MidasConfig,
+    kernel: &MatchKernel,
 ) -> (FctIndex, IfeIndex) {
     let db_len = db.len();
     let graph_refs: Vec<(GraphId, &LabeledGraph)> =
@@ -472,17 +492,13 @@ fn build_indices(
         })
         .collect();
     let mut seen = BTreeSet::new();
-    let mut features: Vec<(TreeKey, &LabeledGraph)> = Vec::new();
-    for (k, t) in fct_trees.iter().chain(freq_edges.iter()) {
+    let mut features: Vec<(TreeKey, LabeledGraph)> = Vec::new();
+    for (k, t) in fct_trees.into_iter().chain(freq_edges) {
         if seen.insert(k.clone()) {
-            features.push((k.clone(), t));
+            features.push((k, t));
         }
     }
-    let fct_index = FctIndex::build(
-        features,
-        graph_refs.iter().copied(),
-        pattern_refs.iter().copied(),
-    );
+    let fct_index = FctIndex::build_with(kernel, features, &graph_refs, &pattern_refs);
     let infrequent: BTreeSet<midas_graph::EdgeLabel> = fct_state
         .edges
         .infrequent(config.sup_min, db_len)
@@ -509,9 +525,7 @@ mod tests {
 
     fn seed_db() -> GraphDb {
         // C-O-N-C chains with some variety; big enough to mine and select.
-        GraphDb::from_graphs((0..10).map(|i| {
-            path(&[0, 1, 2, 0, (i % 2) as u32])
-        }))
+        GraphDb::from_graphs((0..10).map(|i| path(&[0, 1, 2, 0, (i % 2) as u32])))
     }
 
     fn config() -> MidasConfig {
@@ -539,12 +553,14 @@ mod tests {
         let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
         let before = midas.patterns();
         // Insert more graphs of the same shape: graphlet drift ~ 0.
-        let update = BatchUpdate::insert_only(vec![
-            path(&[0, 1, 2, 0, 0]),
-            path(&[0, 1, 2, 0, 1]),
-        ]);
+        let update = BatchUpdate::insert_only(vec![path(&[0, 1, 2, 0, 0]), path(&[0, 1, 2, 0, 1])]);
         let report = midas.apply_batch(update);
-        assert_eq!(report.kind, ModificationKind::Minor, "d = {}", report.distance);
+        assert_eq!(
+            report.kind,
+            ModificationKind::Minor,
+            "d = {}",
+            report.distance
+        );
         assert_eq!(midas.patterns(), before);
         assert_eq!(report.swaps, 0);
         // But the substrate was maintained.
@@ -565,7 +581,12 @@ mod tests {
             .build();
         let update = BatchUpdate::insert_only(vec![triangle; 12]);
         let report = midas.apply_batch(update);
-        assert_eq!(report.kind, ModificationKind::Major, "d = {}", report.distance);
+        assert_eq!(
+            report.kind,
+            ModificationKind::Major,
+            "d = {}",
+            report.distance
+        );
         // Candidate generation ran (swaps may or may not pass criteria).
         assert!(report.pattern_maintenance_time >= report.pattern_generation_time());
     }
@@ -601,8 +622,8 @@ mod tests {
     fn random_strategy_swaps_without_criteria() {
         let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
         let novel: Vec<LabeledGraph> = (0..14).map(|_| path(&[3, 4, 3, 4, 3])).collect();
-        let report = midas
-            .apply_batch_with_strategy(BatchUpdate::insert_only(novel), SwapStrategy::Random);
+        let report =
+            midas.apply_batch_with_strategy(BatchUpdate::insert_only(novel), SwapStrategy::Random);
         // With candidates present, random swapping must swap.
         if report.candidates_generated > 0 {
             assert!(report.swaps > 0);
@@ -622,9 +643,7 @@ mod tests {
         midas.apply_batch(BatchUpdate::insert_only(wave));
         let strip = midas.small_patterns();
         assert!(
-            strip
-                .iter()
-                .any(|p| p.sorted_labels() == vec![3, 3]),
+            strip.iter().any(|p| p.sorted_labels() == vec![3, 3]),
             "S-S should rank into the refreshed strip: {strip:?}"
         );
         // Disabled by default.
@@ -641,8 +660,6 @@ mod tests {
             + report.index_time
             + report.candidate_time
             + report.swap_time;
-        assert!(
-            report.pattern_maintenance_time >= parts.saturating_sub(Duration::from_millis(1))
-        );
+        assert!(report.pattern_maintenance_time >= parts.saturating_sub(Duration::from_millis(1)));
     }
 }

@@ -4,9 +4,11 @@
 //! the MIDAS way: the FCT/IFE indices for dominance filtering (§6.1) and
 //! the lazy sample `D_s` that bounds the cost.
 
-use midas_catapult::score::{diversity, lcov_pattern, pattern_score, PatternScoreParts, SetQuality};
-use midas_graph::{GraphDb, GraphId, LabeledGraph};
-use midas_index::scov::covered_graphs;
+use midas_catapult::score::{
+    diversity, lcov_pattern, pattern_score, PatternScoreParts, SetQuality,
+};
+use midas_graph::{GraphDb, GraphId, LabeledGraph, MatchKernel};
+use midas_index::scov::{covered_graphs, covered_graphs_with};
 use midas_index::{FctIndex, IfeIndex};
 use midas_mining::EdgeCatalog;
 use std::collections::BTreeSet;
@@ -23,12 +25,21 @@ pub struct ScovContext<'a> {
     pub sample: &'a BTreeSet<GraphId>,
     /// The edge catalog (for `lcov`).
     pub catalog: &'a EdgeCatalog,
+    /// Optional parallel + memoized kernel for the VF2 verification step.
+    /// `None` runs the serial uncached reference path — the two always
+    /// produce the same sets (pinned by property tests).
+    pub kernel: Option<&'a MatchKernel>,
 }
 
 impl ScovContext<'_> {
     /// The sampled graphs containing `pattern`.
     pub fn covered(&self, pattern: &LabeledGraph) -> BTreeSet<GraphId> {
-        covered_graphs(self.fct, self.ife, self.db, pattern, self.sample)
+        match self.kernel {
+            Some(kernel) => {
+                covered_graphs_with(kernel, self.fct, self.ife, self.db, pattern, self.sample)
+            }
+            None => covered_graphs(self.fct, self.ife, self.db, pattern, self.sample),
+        }
     }
 
     /// `scov(p, D_s) = |G_p ∩ D_s| / |D_s|`.
@@ -63,6 +74,17 @@ pub fn quality_of(
     midas_catapult::score::set_quality(patterns, db, catalog, universe)
 }
 
+/// [`quality_of`] with the containment scan routed through `kernel`.
+pub fn quality_of_with(
+    kernel: &MatchKernel,
+    patterns: &[LabeledGraph],
+    db: &GraphDb,
+    catalog: &EdgeCatalog,
+    universe: &BTreeSet<GraphId>,
+) -> SetQuality {
+    midas_catapult::score::set_quality_with(kernel, patterns, db, catalog, universe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,11 +105,7 @@ mod tests {
     }
 
     fn world() -> World {
-        let db = GraphDb::from_graphs([
-            path(&[0, 1, 2]),
-            path(&[0, 1]),
-            path(&[3, 4]),
-        ]);
+        let db = GraphDb::from_graphs([path(&[0, 1, 2]), path(&[0, 1]), path(&[3, 4])]);
         let refs: Vec<(GraphId, &LabeledGraph)> =
             db.iter().map(|(id, g)| (id, g.as_ref())).collect();
         let feature = path(&[0, 1]);
@@ -120,11 +138,15 @@ mod tests {
             db: &w.db,
             sample: &sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         assert!((ctx.scov(&path(&[0, 1])) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(ctx.scov(&path(&[7, 7])), 0.0);
         let empty = BTreeSet::new();
-        let ctx2 = ScovContext { sample: &empty, ..ctx };
+        let ctx2 = ScovContext {
+            sample: &empty,
+            ..ctx
+        };
         assert_eq!(ctx2.scov(&path(&[0, 1])), 0.0);
     }
 
@@ -138,6 +160,7 @@ mod tests {
             db: &w.db,
             sample: &sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let s = ctx.midas_score(&path(&[0, 1]), &[path(&[3, 4])]);
         assert!(s > 0.0);

@@ -83,7 +83,10 @@ impl PatternStore {
     /// The sizes (edge counts) of all patterns, id order — input to the KS
     /// guard.
     pub fn sizes(&self) -> Vec<usize> {
-        self.patterns.values().map(|(g, _)| g.edge_count()).collect()
+        self.patterns
+            .values()
+            .map(|(g, _)| g.edge_count())
+            .collect()
     }
 }
 

@@ -103,7 +103,10 @@ mod tests {
         let absent = path(&[7, 7]);
         assert!(log.weight(&popular) > log.weight(&rare));
         assert!(log.weight(&rare) > log.weight(&absent));
-        assert!(log.weight(&absent) > 0.0, "smoothing keeps weights positive");
+        assert!(
+            log.weight(&absent) > 0.0,
+            "smoothing keeps weights positive"
+        );
     }
 
     #[test]
@@ -116,6 +119,9 @@ mod tests {
         // The first query left the window.
         let old = path(&[0, 1]);
         let hits_weight = log.weight(&old);
-        assert!(hits_weight < 0.5, "evicted query no longer counts: {hits_weight}");
+        assert!(
+            hits_weight < 0.5,
+            "evicted query no longer counts: {hits_weight}"
+        );
     }
 }

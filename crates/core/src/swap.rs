@@ -199,10 +199,7 @@ pub fn multi_scan_swap_weighted(
             let sw4 = cog_before * (1.0 + params.alpha_cog) >= cog_after;
             let sw5 = lcov_after >= (1.0 + params.alpha_lcov) * lcov_before;
             let sizes_before = store.sizes();
-            let mut sizes_after: Vec<usize> = before
-                .iter()
-                .map(|p| p.edge_count())
-                .collect();
+            let mut sizes_after: Vec<usize> = before.iter().map(|p| p.edge_count()).collect();
             // Replace the victim's size by the candidate's.
             if let Some(pos) = sizes_after
                 .iter()
@@ -314,6 +311,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let outcome = multi_scan_swap(
             &mut store,
@@ -345,6 +343,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let before = crate::metrics::quality_of(&store.graphs(), &w.db, &w.catalog, &w.sample);
         multi_scan_swap(
@@ -376,6 +375,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         // Candidate covering nothing.
         let outcome = multi_scan_swap(
@@ -402,6 +402,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let outcome = multi_scan_swap(
             &mut store,
@@ -413,14 +414,7 @@ mod tests {
         );
         assert_eq!(outcome.swaps, 0, "empty store: nothing to swap");
         store.insert(path(&[0, 1])).unwrap();
-        let outcome2 = multi_scan_swap(
-            &mut store,
-            vec![],
-            &ctx,
-            &params(),
-            &mut w.fct,
-            &mut w.ife,
-        );
+        let outcome2 = multi_scan_swap(&mut store, vec![], &ctx, &params(), &mut w.fct, &mut w.ife);
         assert_eq!(outcome2.swaps, 0, "no candidates: nothing to do");
     }
 
@@ -442,6 +436,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let mut log = QueryLog::new(16);
         for _ in 0..5 {
@@ -481,6 +476,7 @@ mod tests {
             db: &w.db,
             sample: &w.sample,
             catalog: &w.catalog,
+            kernel: None,
         };
         let outcome = multi_scan_swap(
             &mut store,

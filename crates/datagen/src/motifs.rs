@@ -208,7 +208,10 @@ impl MotifKind {
                 (g, vec![0, 4])
             }
             MotifKind::Chain => {
-                let g = GraphBuilder::new().vertices(&[c, c, c]).path(&[0, 1, 2]).build();
+                let g = GraphBuilder::new()
+                    .vertices(&[c, c, c])
+                    .path(&[0, 1, 2])
+                    .build();
                 (g, vec![0, 2])
             }
             MotifKind::Cyclopropane => {
@@ -266,11 +269,8 @@ impl MotifMix {
     ///
     /// Panics if no entry has positive weight.
     pub fn new(entries: &[(MotifKind, f64)]) -> Self {
-        let entries: Vec<(MotifKind, f64)> = entries
-            .iter()
-            .copied()
-            .filter(|&(_, w)| w > 0.0)
-            .collect();
+        let entries: Vec<(MotifKind, f64)> =
+            entries.iter().copied().filter(|&(_, w)| w > 0.0).collect();
         assert!(!entries.is_empty(), "motif mix needs a positive weight");
         MotifMix { entries }
     }
@@ -304,9 +304,15 @@ mod tests {
         for kind in MotifKind::ALL {
             let m = kind.build();
             assert!(m.graph.is_connected(), "{kind:?} must be connected");
-            assert!(!m.attachment_points.is_empty(), "{kind:?} needs attach points");
+            assert!(
+                !m.attachment_points.is_empty(),
+                "{kind:?} needs attach points"
+            );
             for &ap in &m.attachment_points {
-                assert!((ap as usize) < m.graph.vertex_count(), "{kind:?} attach in range");
+                assert!(
+                    (ap as usize) < m.graph.vertex_count(),
+                    "{kind:?} attach in range"
+                );
             }
         }
     }

@@ -1,0 +1,478 @@
+//! Memoized subgraph-isomorphism counts keyed by `(pattern, data graph)`.
+//!
+//! The TG/TP matrices (§5.1), scov coverage (§2.2) and the swap/quality
+//! machinery all keep asking the same question — "how many embeddings of
+//! pattern `p` does graph `G` contain (capped)?" — against a database that
+//! changes only at batch boundaries. [`EmbeddingCache`] memoizes those
+//! answers so that a batch touching 1% of the database recomputes ~1% of a
+//! matrix, and a rebuilt index reuses every surviving cell.
+//!
+//! # Keying
+//!
+//! Entries are keyed **graph-first**: a sharded map `GraphId → (signature,
+//! pattern-key → count)`. The inner key is the pattern's [`CanonicalCode`],
+//! so isomorphic patterns — common, since candidates are generated from
+//! random walks on many CSGs — share one entry per graph. Graph-first
+//! nesting makes invalidation O(1) per touched graph:
+//! [`EmbeddingCache::invalidate_graph`] simply drops the graph's inner map.
+//!
+//! # Cap soundness
+//!
+//! Counts are saturating ([`count_embeddings`]'s `cap`). Each entry stores
+//! the cap it was computed at. A stored value serves a request when it is
+//! *exact* (`count < stored_cap`, so `min(count, cap)` is the true answer)
+//! or *saturated at or above the requested cap* (`cap ≤ stored_cap ≤ count`
+//! implies the answer is exactly `cap`). Otherwise the entry is recomputed
+//! at the larger cap and upgraded in place.
+//!
+//! # Invalidation contract
+//!
+//! The cache never observes the database; callers must call
+//! [`EmbeddingCache::invalidate_graph`] for every inserted *and* deleted
+//! graph id when applying a batch (inserted ids are fresh and can't collide
+//! with stale entries because [`crate::db::GraphDb`] never reuses ids, but
+//! invalidating both keeps the contract independent of that detail).
+
+use crate::canonical::{canonical_code, CanonicalCode};
+use crate::db::GraphId;
+use crate::graph::LabeledGraph;
+use crate::isomorphism::{count_embeddings, GraphSignature};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Number of independent lock shards. Power of two, sized so a dozen worker
+/// threads rarely contend on one lock.
+const SHARDS: usize = 64;
+
+/// A pattern prepared for cached matching: the graph plus its canonical key
+/// and quick-reject signature, each computed once.
+#[derive(Debug, Clone)]
+pub struct CachedPattern {
+    graph: Arc<LabeledGraph>,
+    key: CanonicalCode,
+    sig: GraphSignature,
+}
+
+impl CachedPattern {
+    /// Prepares `pattern` (canonical code + signature).
+    pub fn new(pattern: &LabeledGraph) -> Self {
+        CachedPattern {
+            graph: Arc::new(pattern.clone()),
+            key: canonical_code(pattern),
+            sig: GraphSignature::of(pattern),
+        }
+    }
+
+    /// The underlying pattern graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// The canonical key shared by all patterns isomorphic to this one.
+    pub fn key(&self) -> &CanonicalCode {
+        &self.key
+    }
+
+    /// The pattern's quick-reject signature.
+    pub fn signature(&self) -> &GraphSignature {
+        &self.sig
+    }
+}
+
+/// One stored answer: the cap it was computed at and the (saturating) count.
+#[derive(Debug, Clone, Copy)]
+struct StoredCount {
+    cap: u64,
+    count: u64,
+}
+
+impl StoredCount {
+    /// The answer for a request at `cap`, when this entry can serve it.
+    fn serve(&self, cap: u64) -> Option<u64> {
+        if self.count < self.cap {
+            // Exact count: valid at any cap.
+            Some(self.count.min(cap))
+        } else if cap <= self.cap {
+            // Saturated at stored cap ≥ requested cap: true count ≥ cap.
+            Some(cap)
+        } else {
+            None
+        }
+    }
+}
+
+/// Everything memoized about one data graph.
+#[derive(Debug, Default)]
+struct GraphEntry {
+    /// Lazily computed quick-reject signature of the graph.
+    sig: Option<Arc<GraphSignature>>,
+    /// Capped embedding counts per pattern canonical key.
+    counts: HashMap<CanonicalCode, StoredCount>,
+}
+
+/// Hit/miss counters, for tests and bench reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from a stored entry (including prefilter zeros).
+    pub hits: u64,
+    /// Requests that ran a VF2 search.
+    pub misses: u64,
+}
+
+/// A sharded, thread-safe memo of capped embedding counts.
+///
+/// Cheap to share (`Arc<EmbeddingCache>`), safe to hit from the scoped
+/// worker threads of [`crate::exec`].
+#[derive(Debug)]
+pub struct EmbeddingCache {
+    shards: Vec<RwLock<HashMap<GraphId, GraphEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for EmbeddingCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddingCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EmbeddingCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: GraphId) -> &RwLock<HashMap<GraphId, GraphEntry>> {
+        &self.shards[(id.0 as usize) % SHARDS]
+    }
+
+    /// Counts embeddings of `pattern` in `(id, target)`, saturating at
+    /// `cap`, consulting and updating the memo.
+    pub fn count_embeddings(
+        &self,
+        pattern: &CachedPattern,
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+    ) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        // Fast path: stored entry (and memoized target signature).
+        let mut target_sig: Option<Arc<GraphSignature>> = None;
+        {
+            let shard = self.shard(id).read().expect("cache lock");
+            if let Some(entry) = shard.get(&id) {
+                if let Some(stored) = entry.counts.get(&pattern.key) {
+                    if let Some(answer) = stored.serve(cap) {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return answer;
+                    }
+                }
+                target_sig = entry.sig.clone();
+            }
+        }
+        let target_sig = target_sig.unwrap_or_else(|| Arc::new(GraphSignature::of(target)));
+        let stored = if !pattern.sig.may_embed_in(&target_sig) {
+            // Prefilter proof of zero: exact at any cap.
+            StoredCount {
+                cap: u64::MAX,
+                count: 0,
+            }
+        } else {
+            StoredCount {
+                cap,
+                count: count_embeddings(&pattern.graph, target, cap),
+            }
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(id).write().expect("cache lock");
+        let entry = shard.entry(id).or_default();
+        entry.sig.get_or_insert(target_sig);
+        // Keep whichever of the racing computations knows more.
+        let slot = entry.counts.entry(pattern.key.clone()).or_insert(stored);
+        if stored.cap > slot.cap {
+            *slot = stored;
+        }
+        stored.serve(cap).expect("fresh entry serves its own cap")
+    }
+
+    /// Counts embeddings of every pattern in `(id, target)` in one pass:
+    /// a single read-lock sweep serves all memoized answers, VF2 runs only
+    /// for the gaps, and a single write lock stores the fresh entries.
+    /// Equivalent to (but cheaper than) one [`Self::count_embeddings`] call
+    /// per pattern — this is the inner loop of a matrix-column build.
+    pub fn count_embeddings_many(
+        &self,
+        patterns: &[CachedPattern],
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+    ) -> Vec<u64> {
+        if cap == 0 {
+            return vec![0; patterns.len()];
+        }
+        let mut out: Vec<Option<u64>> = vec![None; patterns.len()];
+        let mut target_sig: Option<Arc<GraphSignature>> = None;
+        let mut hits = 0u64;
+        {
+            let shard = self.shard(id).read().expect("cache lock");
+            if let Some(entry) = shard.get(&id) {
+                target_sig = entry.sig.clone();
+                for (slot, p) in out.iter_mut().zip(patterns) {
+                    if let Some(answer) = entry
+                        .counts
+                        .get(&p.key)
+                        .and_then(|stored| stored.serve(cap))
+                    {
+                        *slot = Some(answer);
+                        hits += 1;
+                    }
+                }
+            }
+        }
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if out.iter().all(Option::is_some) {
+            return out.into_iter().map(|s| s.expect("checked")).collect();
+        }
+        let target_sig = target_sig.unwrap_or_else(|| Arc::new(GraphSignature::of(target)));
+        let mut fresh: Vec<(usize, StoredCount)> = Vec::new();
+        for (i, p) in patterns.iter().enumerate() {
+            if out[i].is_some() {
+                continue;
+            }
+            let stored = if !p.sig.may_embed_in(&target_sig) {
+                StoredCount {
+                    cap: u64::MAX,
+                    count: 0,
+                }
+            } else {
+                StoredCount {
+                    cap,
+                    count: count_embeddings(&p.graph, target, cap),
+                }
+            };
+            out[i] = Some(stored.serve(cap).expect("fresh entry serves its own cap"));
+            fresh.push((i, stored));
+        }
+        self.misses.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        let mut shard = self.shard(id).write().expect("cache lock");
+        let entry = shard.entry(id).or_default();
+        entry.sig.get_or_insert(target_sig);
+        for (i, stored) in fresh {
+            let slot = entry
+                .counts
+                .entry(patterns[i].key.clone())
+                .or_insert(stored);
+            if stored.cap > slot.cap {
+                *slot = stored;
+            }
+        }
+        out.into_iter().map(|s| s.expect("filled")).collect()
+    }
+
+    /// Whether `pattern ⊆ target`, through the memo (a cap-1 count).
+    pub fn is_subgraph(&self, pattern: &CachedPattern, id: GraphId, target: &LabeledGraph) -> bool {
+        self.count_embeddings(pattern, id, target, 1) > 0
+    }
+
+    /// Drops everything memoized about `id`. Call for every graph a batch
+    /// inserts or deletes.
+    pub fn invalidate_graph(&self, id: GraphId) {
+        self.shard(id).write().expect("cache lock").remove(&id);
+    }
+
+    /// Drops the entire memo.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("cache lock").clear();
+        }
+    }
+
+    /// Number of graphs with at least one memoized entry.
+    pub fn cached_graphs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("cache lock").len())
+            .sum()
+    }
+
+    /// Hit/miss counters since construction (or the last [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: EmbeddingCache::reset_stats
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes the hit/miss counters (the memo itself is untouched).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path(labels: &[u32]) -> LabeledGraph {
+        let vs: Vec<u32> = (0..labels.len() as u32).collect();
+        GraphBuilder::new().vertices(labels).path(&vs).build()
+    }
+
+    fn triangle() -> LabeledGraph {
+        GraphBuilder::new()
+            .vertices(&[0, 0, 0])
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(0, 2)
+            .build()
+    }
+
+    #[test]
+    fn memoizes_counts() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        let id = GraphId(7);
+        assert_eq!(cache.count_embeddings(&p, id, &t, 64), 6);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.count_embeddings(&p, id, &t, 64), 6);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn isomorphic_patterns_share_entries() {
+        let cache = EmbeddingCache::new();
+        // Same path, two vertex orderings.
+        let a = CachedPattern::new(&path(&[0, 1, 0]));
+        let b = CachedPattern::new(
+            &GraphBuilder::new()
+                .vertices(&[0, 0, 1])
+                .edge(0, 2)
+                .edge(1, 2)
+                .build(),
+        );
+        assert_eq!(a.key(), b.key());
+        let t = path(&[0, 1, 0, 1, 0]);
+        let id = GraphId(0);
+        let first = cache.count_embeddings(&a, id, &t, 64);
+        let second = cache.count_embeddings(&b, id, &t, 64);
+        assert_eq!(first, second);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn cap_upgrades_are_sound() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        let id = GraphId(1);
+        // Boolean query first: stored saturated at cap 1.
+        assert!(cache.is_subgraph(&p, id, &t));
+        // Same cap served from memo.
+        assert_eq!(cache.count_embeddings(&p, id, &t, 1), 1);
+        assert_eq!(cache.stats().hits, 1);
+        // Larger cap forces a recompute, upgrading the entry.
+        assert_eq!(cache.count_embeddings(&p, id, &t, 64), 6);
+        // Now exact: every cap served from memo.
+        assert_eq!(cache.count_embeddings(&p, id, &t, 3), 3);
+        assert_eq!(cache.count_embeddings(&p, id, &t, 1000), 6);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn prefilter_zero_is_exact() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 9]));
+        let t = triangle();
+        let id = GraphId(2);
+        assert_eq!(cache.count_embeddings(&p, id, &t, 1), 0);
+        assert_eq!(cache.count_embeddings(&p, id, &t, u64::MAX), 0);
+        // Second query hits the stored exact zero.
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn invalidation_drops_one_graph_only() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        cache.count_embeddings(&p, GraphId(0), &t, 64);
+        cache.count_embeddings(&p, GraphId(1), &t, 64);
+        assert_eq!(cache.cached_graphs(), 2);
+        cache.invalidate_graph(GraphId(0));
+        assert_eq!(cache.cached_graphs(), 1);
+        // Graph 1 still served from memo; graph 0 recomputed.
+        cache.reset_stats();
+        cache.count_embeddings(&p, GraphId(1), &t, 64);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0 });
+        cache.count_embeddings(&p, GraphId(0), &t, 64);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn batched_counts_match_single_queries() {
+        let cache = EmbeddingCache::new();
+        let patterns: Vec<CachedPattern> = [path(&[0, 0]), path(&[0, 9]), triangle()]
+            .iter()
+            .map(CachedPattern::new)
+            .collect();
+        let t = triangle();
+        let id = GraphId(3);
+        // Partially warm the memo, then batch over everything.
+        cache.count_embeddings(&patterns[0], id, &t, 64);
+        let batch = cache.count_embeddings_many(&patterns, id, &t, 64);
+        for (p, &got) in patterns.iter().zip(&batch) {
+            assert_eq!(got, count_embeddings(p.graph(), &t, 64));
+        }
+        // Second batch: all hits, no new misses.
+        let misses = cache.stats().misses;
+        let again = cache.count_embeddings_many(&patterns, id, &t, 64);
+        assert_eq!(again, batch);
+        assert_eq!(cache.stats().misses, misses);
+    }
+
+    #[test]
+    fn concurrent_queries_agree_with_serial(/* exercised via exec */) {
+        let cache = EmbeddingCache::new();
+        let patterns: Vec<CachedPattern> = [path(&[0, 0]), path(&[0, 0, 0]), triangle()]
+            .iter()
+            .map(CachedPattern::new)
+            .collect();
+        let targets: Vec<(GraphId, LabeledGraph)> = (0..32)
+            .map(|i| {
+                (
+                    GraphId(i),
+                    if i % 2 == 0 {
+                        triangle()
+                    } else {
+                        path(&[0, 0, 0, 0])
+                    },
+                )
+            })
+            .collect();
+        let results = crate::exec::par_map(8, &targets, |(id, t)| {
+            patterns
+                .iter()
+                .map(|p| cache.count_embeddings(p, *id, t, 64))
+                .collect::<Vec<u64>>()
+        });
+        for ((_, t), row) in targets.iter().zip(&results) {
+            for (p, &got) in patterns.iter().zip(row) {
+                assert_eq!(got, count_embeddings(p.graph(), t, 64));
+            }
+        }
+    }
+}

@@ -11,17 +11,20 @@
 //! labeled graphs.
 
 use crate::graph::{LabeledGraph, VertexId};
-use bytes::Bytes;
+use std::sync::Arc;
 
 /// A canonical code: equal codes ⇔ isomorphic graphs.
+///
+/// The byte buffer is behind an `Arc` so codes can be cloned cheaply into
+/// cache keys and cross-thread work items.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct CanonicalCode(pub Bytes);
+pub struct CanonicalCode(pub Arc<[u8]>);
 
 /// Computes the canonical code of `g`.
 pub fn canonical_code(g: &LabeledGraph) -> CanonicalCode {
     let n = g.vertex_count();
     if n == 0 {
-        return CanonicalCode(Bytes::new());
+        return CanonicalCode(Arc::from(Vec::new()));
     }
     // Initial colouring by vertex label (compressed to dense ids).
     let mut colors: Vec<u32> = {
@@ -36,7 +39,7 @@ pub fn canonical_code(g: &LabeledGraph) -> CanonicalCode {
     refine(g, &mut colors);
     let mut best: Option<Vec<u8>> = None;
     individualize(g, &colors, &mut best);
-    CanonicalCode(Bytes::from(best.expect("at least one ordering")))
+    CanonicalCode(Arc::from(best.expect("at least one ordering")))
 }
 
 /// Tests isomorphism through canonical codes.

@@ -89,12 +89,18 @@ impl ClosureGraph {
     }
 
     /// The support set of edge `(u, v)`, if the edge exists.
-    pub fn edge_support(&self, u: ClosureVertexId, v: ClosureVertexId) -> Option<&BTreeSet<GraphId>> {
+    pub fn edge_support(
+        &self,
+        u: ClosureVertexId,
+        v: ClosureVertexId,
+    ) -> Option<&BTreeSet<GraphId>> {
         self.adj.get(u as usize).and_then(|ns| ns.get(&v))
     }
 
     /// Iterates live edges as `(u, v, support)` with `u < v`.
-    pub fn edges(&self) -> impl Iterator<Item = (ClosureVertexId, ClosureVertexId, &BTreeSet<GraphId>)> {
+    pub fn edges(
+        &self,
+    ) -> impl Iterator<Item = (ClosureVertexId, ClosureVertexId, &BTreeSet<GraphId>)> {
         self.adj.iter().enumerate().flat_map(|(u, ns)| {
             ns.iter()
                 .filter(move |(&v, _)| v as usize > u)
@@ -183,7 +189,9 @@ impl ClosureGraph {
             };
             used[target as usize] = true;
             mapping[v as usize] = target;
-            *self.vertex_labels[target as usize].entry(label).or_insert(0) += 1;
+            *self.vertex_labels[target as usize]
+                .entry(label)
+                .or_insert(0) += 1;
             self.vertex_support[target as usize].insert(id);
         }
 
@@ -289,7 +297,10 @@ mod tests {
 
     fn con_path() -> LabeledGraph {
         // C - O - N
-        GraphBuilder::new().vertices(&[0, 1, 2]).path(&[0, 1, 2]).build()
+        GraphBuilder::new()
+            .vertices(&[0, 1, 2])
+            .path(&[0, 1, 2])
+            .build()
     }
 
     #[test]

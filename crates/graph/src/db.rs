@@ -7,7 +7,6 @@
 //! updated periodically in batches rather than streamed.
 
 use crate::graph::LabeledGraph;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -16,9 +15,7 @@ use std::sync::Arc;
 /// Ids are never reused, so `GraphId`s remain valid across deletions (they
 /// simply stop resolving), which is what the CSG edge-support sets and the
 /// index matrices of §5.1 rely on.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct GraphId(pub u64);
 
 impl std::fmt::Display for GraphId {
@@ -170,7 +167,10 @@ mod tests {
     use crate::graph::GraphBuilder;
 
     fn tiny(label: u32) -> LabeledGraph {
-        GraphBuilder::new().vertices(&[label, label]).edge(0, 1).build()
+        GraphBuilder::new()
+            .vertices(&[label, label])
+            .edge(0, 1)
+            .build()
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Scoped-thread execution helpers for the isomorphism kernel.
+//!
+//! Matrix construction (§5.1) and batch maintenance (Algorithm 1) are
+//! dominated by embarrassingly parallel `(graph × pattern)` scans. This
+//! module centralizes the fork/join plumbing those scans share, so each
+//! call site is a data-parallel one-liner instead of hand-rolled chunk
+//! arithmetic:
+//!
+//! * [`par_map`] — map a function over a slice, preserving order.
+//! * [`par_map_indexed`] — same, with the element index available.
+//! * [`par_chunks`] — run a closure once per contiguous chunk, for
+//!   reductions that want per-thread accumulators.
+//!
+//! Threads are plain `std::thread::scope` workers (no pool): the work items
+//! here are chunky (VF2 searches over whole graphs), so spawn overhead is
+//! noise, and scoped threads let closures borrow the database and indices
+//! without `Arc` gymnastics.
+//!
+//! # Thread-count selection
+//!
+//! [`thread_count`] resolves, in order: an explicit override (> 0), the
+//! `MIDAS_THREADS` environment variable (> 0), then
+//! `std::thread::available_parallelism()`. Work is never split wider than
+//! the item count, and `1` means "run inline on the caller's thread".
+
+use std::num::NonZeroUsize;
+
+/// Resolves the number of worker threads to use for `items` work items.
+///
+/// `override_threads` wins when non-zero (this is the `MidasConfig::threads`
+/// knob); otherwise the `MIDAS_THREADS` environment variable (when set to a
+/// positive integer); otherwise the machine's available parallelism.
+pub fn thread_count(override_threads: usize, items: usize) -> usize {
+    let configured = if override_threads > 0 {
+        override_threads
+    } else {
+        env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+    };
+    configured.min(items).max(1)
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("MIDAS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Maps `f` over `items` in parallel, preserving input order.
+///
+/// `threads = 0` means auto (see [`thread_count`]). Falls back to a plain
+/// sequential map when one thread suffices.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(threads, items, |_, item| f(item))
+}
+
+/// Maps `f(index, item)` over `items` in parallel, preserving input order.
+pub fn par_map_indexed<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = thread_count(threads, items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, (in_chunk, out_chunk)) in items
+            .chunks(chunk_len)
+            .zip(out.chunks_mut(chunk_len))
+            .enumerate()
+        {
+            let f = &f;
+            scope.spawn(move || {
+                let base = chunk_idx * chunk_len;
+                for (offset, (item, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                    *slot = Some(f(base + offset, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Runs `f(chunk_start, chunk)` once per contiguous chunk, in parallel, and
+/// returns the per-chunk results in order. Useful for reductions: each
+/// worker builds a private accumulator, the caller merges the handful of
+/// results.
+pub fn par_chunks<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &[T]) -> U + Sync,
+{
+    let threads = thread_count(threads, items.len());
+    if threads <= 1 {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        return vec![f(0, items)];
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::new();
+    out.resize_with(items.len().div_ceil(chunk_len), || None);
+    std::thread::scope(|scope| {
+        for (chunk_idx, (chunk, slot)) in items.chunks(chunk_len).zip(out.iter_mut()).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(chunk_idx * chunk_len, chunk));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7] {
+            let doubled = par_map(threads, &items, |&x| x * 2);
+            assert_eq!(doubled, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_sees_true_indices() {
+        let items = vec!["a"; 257];
+        let idxs = par_map_indexed(4, &items, |i, _| i);
+        assert_eq!(idxs, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_chunks_partitions_exactly() {
+        let items: Vec<usize> = (0..103).collect();
+        for threads in [1, 2, 5, 16] {
+            let sums = par_chunks(threads, &items, |start, chunk| {
+                assert_eq!(chunk[0], start);
+                chunk.iter().sum::<usize>()
+            });
+            assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(8, &none, |&x| x).is_empty());
+        assert!(par_chunks(8, &none, |_, c: &[u32]| c.len()).is_empty());
+    }
+
+    #[test]
+    fn thread_count_clamps_to_items() {
+        assert_eq!(thread_count(64, 3), 3);
+        assert_eq!(thread_count(2, 1000), 2);
+        assert_eq!(thread_count(0, 0), 1);
+        assert!(thread_count(0, 1000) >= 1);
+    }
+}

@@ -89,12 +89,7 @@ pub fn ged_exact_bounded(a: &LabeledGraph, b: &LabeledGraph, limit: u32) -> Opti
     let mut used = vec![false; nb];
 
     // Admissible heuristic on remaining vertex costs: label-multiset deficit.
-    fn vertex_heuristic(
-        a: &LabeledGraph,
-        b: &LabeledGraph,
-        depth: usize,
-        used: &[bool],
-    ) -> u32 {
+    fn vertex_heuristic(a: &LabeledGraph, b: &LabeledGraph, depth: usize, used: &[bool]) -> u32 {
         let mut ra: Vec<u32> = (depth..a.vertex_count())
             .map(|v| a.label(v as VertexId))
             .collect();
@@ -250,7 +245,12 @@ mod tests {
 
     #[test]
     fn distance_is_symmetric_on_samples() {
-        let gs = [path(&[0, 1, 0]), triangle(0), path(&[1, 1]), path(&[0, 1, 2, 0])];
+        let gs = [
+            path(&[0, 1, 0]),
+            triangle(0),
+            path(&[1, 1]),
+            path(&[0, 1, 2, 0]),
+        ];
         for x in &gs {
             for y in &gs {
                 assert_eq!(ged_exact(x, y), ged_exact(y, x), "x={x:?} y={y:?}");

@@ -6,7 +6,6 @@
 //! number of edges, `|G| = |E|`.
 
 use crate::labels::LabelId;
-use serde::{Deserialize, Serialize};
 
 /// Index of a vertex within a single [`LabeledGraph`].
 pub type VertexId = u32;
@@ -15,9 +14,7 @@ pub type VertexId = u32;
 ///
 /// Stored normalized (`small ≤ large`), so `EdgeLabel::new(a, b) ==
 /// EdgeLabel::new(b, a)`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct EdgeLabel(pub LabelId, pub LabelId);
 
 impl EdgeLabel {
@@ -36,7 +33,7 @@ impl EdgeLabel {
 /// Vertices are dense indices `0..vertex_count()`; adjacency lists are kept
 /// sorted so iteration order (and therefore every algorithm built on top) is
 /// deterministic. Self-loops and parallel edges are rejected.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LabeledGraph {
     labels: Vec<LabelId>,
     adj: Vec<Vec<VertexId>>,
@@ -338,7 +335,10 @@ mod tests {
 
     fn path3() -> LabeledGraph {
         // C - O - C
-        GraphBuilder::new().vertices(&[0, 1, 0]).path(&[0, 1, 2]).build()
+        GraphBuilder::new()
+            .vertices(&[0, 1, 0])
+            .path(&[0, 1, 2])
+            .build()
     }
 
     #[test]
@@ -442,7 +442,10 @@ mod tests {
 
     #[test]
     fn sorted_label_multisets() {
-        let g = GraphBuilder::new().vertices(&[2, 0, 1, 0]).path(&[0, 1, 2, 3]).build();
+        let g = GraphBuilder::new()
+            .vertices(&[2, 0, 1, 0])
+            .path(&[0, 1, 2, 3])
+            .build();
         assert_eq!(g.sorted_labels(), vec![0, 0, 1, 2]);
         let els = g.sorted_edge_labels();
         assert_eq!(els.len(), 3);
@@ -451,7 +454,10 @@ mod tests {
 
     #[test]
     fn builder_path_helper() {
-        let g = GraphBuilder::new().vertices(&[0; 5]).path(&[0, 1, 2, 3, 4]).build();
+        let g = GraphBuilder::new()
+            .vertices(&[0; 5])
+            .path(&[0, 1, 2, 3, 4])
+            .build();
         assert_eq!(g.edge_count(), 4);
         assert!(g.is_connected());
     }

@@ -11,10 +11,9 @@
 //! make this cheap and exact.
 
 use crate::graph::{LabeledGraph, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// The eight connected graphlets on 3 and 4 vertices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(usize)]
 pub enum GraphletKind {
     /// 3 vertices, 2 edges: the path `P3`.
@@ -58,7 +57,7 @@ impl GraphletKind {
 }
 
 /// Raw graphlet occurrence counts for one graph (or one database).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GraphletCounts {
     counts: [u64; 8],
 }
@@ -108,7 +107,7 @@ impl GraphletCounts {
 }
 
 /// A graphlet frequency distribution `ψ` (§3.4): normalized counts.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct GraphletDistribution {
     freqs: [f64; 8],
 }

@@ -1,16 +1,37 @@
 //! JSON persistence for graph databases and pattern sets.
 //!
 //! Experiments need reproducible inputs and auditable outputs; this module
-//! serializes a [`GraphDb`] (with its stable ids) and pattern sets through
-//! serde. The format is a single JSON document — fine for the
-//! laptop-scale databases this workspace targets.
+//! serializes a [`GraphDb`] (with its stable ids) and pattern sets as a
+//! single JSON document — fine for the laptop-scale databases this
+//! workspace targets. The encoder/decoder are hand-rolled for exactly the
+//! shapes these types produce (the build environment has no crates.io
+//! access, so a `serde_json` dependency is not an option).
+//!
+//! Format:
+//!
+//! ```json
+//! {"graphs": [[0, {"labels": [0, 1], "edges": [[0, 1]]}], ...]}
+//! ```
 
 use crate::db::{GraphDb, GraphId};
 use crate::graph::LabeledGraph;
-use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+impl std::error::Error for Error {}
+
+/// Result alias for this module.
+pub type Result<T> = std::result::Result<T, Error>;
 
 /// Serializable snapshot of a database.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DbSnapshot {
     /// `(id, graph)` pairs in id order.
     pub graphs: Vec<(u64, LabeledGraph)>,
@@ -33,14 +54,11 @@ pub fn restore(snapshot: &DbSnapshot) -> GraphDb {
     // GraphDb only hands out fresh ids; reconstruct by inserting in id
     // order and verifying density, falling back to remapping gaps.
     let mut expected_next = 0u64;
-    let dense = snapshot
-        .graphs
-        .iter()
-        .all(|&(id, _)| {
-            let ok = id == expected_next;
-            expected_next += 1;
-            ok
-        });
+    let dense = snapshot.graphs.iter().all(|&(id, _)| {
+        let ok = id == expected_next;
+        expected_next += 1;
+        ok
+    });
     if dense {
         for (_, g) in &snapshot.graphs {
             db.insert(g.clone());
@@ -64,739 +82,246 @@ pub fn restore(snapshot: &DbSnapshot) -> GraphDb {
 }
 
 /// Serializes a database to a JSON string.
-pub fn db_to_json(db: &GraphDb) -> serde_json_like::Result<String> {
-    serde_json_like::to_string(&snapshot(db))
+pub fn db_to_json(db: &GraphDb) -> Result<String> {
+    let snap = snapshot(db);
+    let mut out = String::new();
+    out.push_str("{\"graphs\":[");
+    for (i, (id, g)) in snap.graphs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&id.to_string());
+        out.push(',');
+        write_graph(&mut out, g);
+        out.push(']');
+    }
+    out.push_str("]}");
+    Ok(out)
 }
 
 /// Deserializes a database from a JSON string.
-pub fn db_from_json(json: &str) -> serde_json_like::Result<GraphDb> {
-    Ok(restore(&serde_json_like::from_str(json)?))
+pub fn db_from_json(json: &str) -> Result<GraphDb> {
+    let mut p = Parser::new(json);
+    p.expect('{')?;
+    p.expect_key("graphs")?;
+    let mut graphs = Vec::new();
+    p.expect('[')?;
+    if !p.peek_is(']') {
+        loop {
+            p.expect('[')?;
+            let id = p.parse_u64()?;
+            p.expect(',')?;
+            let graph = p.parse_graph()?;
+            p.expect(']')?;
+            graphs.push((id, graph));
+            if !p.eat(',') {
+                break;
+            }
+        }
+    }
+    p.expect(']')?;
+    p.expect('}')?;
+    p.expect_end()?;
+    Ok(restore(&DbSnapshot { graphs }))
 }
 
 /// Serializes a pattern set to JSON.
-pub fn patterns_to_json(patterns: &[LabeledGraph]) -> serde_json_like::Result<String> {
-    serde_json_like::to_string(&patterns.to_vec())
+pub fn patterns_to_json(patterns: &[LabeledGraph]) -> Result<String> {
+    let mut out = String::new();
+    out.push('[');
+    for (i, g) in patterns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_graph(&mut out, g);
+    }
+    out.push(']');
+    Ok(out)
 }
 
 /// Deserializes a pattern set from JSON.
-pub fn patterns_from_json(json: &str) -> serde_json_like::Result<Vec<LabeledGraph>> {
-    serde_json_like::from_str(json)
+pub fn patterns_from_json(json: &str) -> Result<Vec<LabeledGraph>> {
+    let mut p = Parser::new(json);
+    let mut patterns = Vec::new();
+    p.expect('[')?;
+    if !p.peek_is(']') {
+        loop {
+            patterns.push(p.parse_graph()?);
+            if !p.eat(',') {
+                break;
+            }
+        }
+    }
+    p.expect(']')?;
+    p.expect_end()?;
+    Ok(patterns)
 }
 
-/// A minimal JSON (de)serializer over serde, avoiding a `serde_json`
-/// dependency (not in the approved offline crate set). Supports exactly
-/// the shapes our types produce: structs, sequences, tuples, integers and
-/// strings.
-pub mod serde_json_like {
-    use serde::de::DeserializeOwned;
-    use serde::Serialize;
-
-    /// Serialization/deserialization errors.
-    #[derive(Debug)]
-    pub struct Error(pub String);
-
-    impl std::fmt::Display for Error {
-        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-            write!(f, "json error: {}", self.0)
+fn write_graph(out: &mut String, g: &LabeledGraph) {
+    out.push_str("{\"labels\":[");
+    for (i, l) in g.labels().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
         }
+        out.push_str(&l.to_string());
     }
-    impl std::error::Error for Error {}
-
-    /// Result alias.
-    pub type Result<T> = std::result::Result<T, Error>;
-
-    /// Serializes any serde value to JSON text.
-    pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
-        let mut out = Vec::new();
-        let mut ser = json_ser::Serializer { out: &mut out };
-        value
-            .serialize(&mut ser)
-            .map_err(|e| Error(e.to_string()))?;
-        String::from_utf8(out).map_err(|e| Error(e.to_string()))
+    out.push_str("],\"edges\":[");
+    for (i, &(u, v)) in g.edges().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        out.push_str(&u.to_string());
+        out.push(',');
+        out.push_str(&v.to_string());
+        out.push(']');
     }
+    out.push_str("]}");
+}
 
-    /// Deserializes JSON text into any serde value.
-    pub fn from_str<T: DeserializeOwned>(json: &str) -> Result<T> {
-        let mut de = json_de::Deserializer::new(json);
-        let value = T::deserialize(&mut de).map_err(|e| Error(e.to_string()))?;
-        de.skip_ws();
-        if !de.is_done() {
-            return Err(Error("trailing input".into()));
-        }
-        Ok(value)
-    }
+/// Recursive-descent parser over the exact grammar this module emits
+/// (whitespace-tolerant).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
 
-    mod json_ser {
-        use serde::ser::{self, Serialize};
-
-        #[derive(Debug)]
-        pub struct SerError(pub String);
-        impl std::fmt::Display for SerError {
-            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                write!(f, "{}", self.0)
-            }
-        }
-        impl std::error::Error for SerError {}
-        impl ser::Error for SerError {
-            fn custom<T: std::fmt::Display>(msg: T) -> Self {
-                SerError(msg.to_string())
-            }
-        }
-
-        pub struct Serializer<'a> {
-            pub out: &'a mut Vec<u8>,
-        }
-
-        impl Serializer<'_> {
-            fn push(&mut self, s: &str) {
-                self.out.extend_from_slice(s.as_bytes());
-            }
-        }
-
-        pub struct Seq<'a, 'b> {
-            ser: &'a mut Serializer<'b>,
-            first: bool,
-            close: char,
-        }
-
-        impl<'a, 'b> Seq<'a, 'b> {
-            fn element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), SerError> {
-                if !self.first {
-                    self.ser.push(",");
-                }
-                self.first = false;
-                value.serialize(&mut *self.ser)
-            }
-            fn finish(self) -> Result<(), SerError> {
-                let mut buf = [0u8; 4];
-                self.ser.push(self.close.encode_utf8(&mut buf));
-                Ok(())
-            }
-        }
-
-        pub struct Map<'a, 'b> {
-            ser: &'a mut Serializer<'b>,
-            first: bool,
-        }
-
-        impl Map<'_, '_> {
-            fn field<T: ?Sized + Serialize>(
-                &mut self,
-                key: &'static str,
-                value: &T,
-            ) -> Result<(), SerError> {
-                if !self.first {
-                    self.ser.push(",");
-                }
-                self.first = false;
-                self.ser.push("\"");
-                self.ser.push(key);
-                self.ser.push("\":");
-                value.serialize(&mut *self.ser)
-            }
-        }
-
-        macro_rules! ser_int {
-            ($($method:ident : $ty:ty),*) => {$(
-                fn $method(self, v: $ty) -> Result<(), SerError> {
-                    self.push(&v.to_string());
-                    Ok(())
-                }
-            )*};
-        }
-
-        impl<'a, 'b> ser::Serializer for &'a mut Serializer<'b> {
-            type Ok = ();
-            type Error = SerError;
-            type SerializeSeq = Seq<'a, 'b>;
-            type SerializeTuple = Seq<'a, 'b>;
-            type SerializeTupleStruct = Seq<'a, 'b>;
-            type SerializeTupleVariant = Seq<'a, 'b>;
-            type SerializeMap = Map<'a, 'b>;
-            type SerializeStruct = Map<'a, 'b>;
-            type SerializeStructVariant = Map<'a, 'b>;
-
-            ser_int!(serialize_i8: i8, serialize_i16: i16, serialize_i32: i32,
-                     serialize_i64: i64, serialize_u8: u8, serialize_u16: u16,
-                     serialize_u32: u32, serialize_u64: u64);
-
-            fn serialize_bool(self, v: bool) -> Result<(), SerError> {
-                self.push(if v { "true" } else { "false" });
-                Ok(())
-            }
-            fn serialize_f32(self, v: f32) -> Result<(), SerError> {
-                self.push(&format!("{v}"));
-                Ok(())
-            }
-            fn serialize_f64(self, v: f64) -> Result<(), SerError> {
-                self.push(&format!("{v}"));
-                Ok(())
-            }
-            fn serialize_char(self, v: char) -> Result<(), SerError> {
-                self.serialize_str(&v.to_string())
-            }
-            fn serialize_str(self, v: &str) -> Result<(), SerError> {
-                self.push("\"");
-                for c in v.chars() {
-                    match c {
-                        '"' => self.push("\\\""),
-                        '\\' => self.push("\\\\"),
-                        '\n' => self.push("\\n"),
-                        '\t' => self.push("\\t"),
-                        '\r' => self.push("\\r"),
-                        c if (c as u32) < 0x20 => {
-                            self.push(&format!("\\u{:04x}", c as u32));
-                        }
-                        c => {
-                            let mut buf = [0u8; 4];
-                            self.push(c.encode_utf8(&mut buf));
-                        }
-                    }
-                }
-                self.push("\"");
-                Ok(())
-            }
-            fn serialize_bytes(self, v: &[u8]) -> Result<(), SerError> {
-                use serde::ser::SerializeSeq;
-                let mut seq = self.serialize_seq(Some(v.len()))?;
-                for b in v {
-                    seq.serialize_element(b)?;
-                }
-                seq.end()
-            }
-            fn serialize_none(self) -> Result<(), SerError> {
-                self.push("null");
-                Ok(())
-            }
-            fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), SerError> {
-                value.serialize(self)
-            }
-            fn serialize_unit(self) -> Result<(), SerError> {
-                self.push("null");
-                Ok(())
-            }
-            fn serialize_unit_struct(self, _: &'static str) -> Result<(), SerError> {
-                self.serialize_unit()
-            }
-            fn serialize_unit_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                variant: &'static str,
-            ) -> Result<(), SerError> {
-                self.serialize_str(variant)
-            }
-            fn serialize_newtype_struct<T: ?Sized + Serialize>(
-                self,
-                _: &'static str,
-                value: &T,
-            ) -> Result<(), SerError> {
-                value.serialize(self)
-            }
-            fn serialize_newtype_variant<T: ?Sized + Serialize>(
-                self,
-                _: &'static str,
-                _: u32,
-                variant: &'static str,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.push("{");
-                self.serialize_str(variant)?;
-                self.push(":");
-                value.serialize(&mut *self)?;
-                self.push("}");
-                Ok(())
-            }
-            fn serialize_seq(self, _: Option<usize>) -> Result<Seq<'a, 'b>, SerError> {
-                self.push("[");
-                Ok(Seq {
-                    ser: self,
-                    first: true,
-                    close: ']',
-                })
-            }
-            fn serialize_tuple(self, len: usize) -> Result<Seq<'a, 'b>, SerError> {
-                let _ = len;
-                self.serialize_seq(None)
-            }
-            fn serialize_tuple_struct(
-                self,
-                _: &'static str,
-                len: usize,
-            ) -> Result<Seq<'a, 'b>, SerError> {
-                self.serialize_tuple(len)
-            }
-            fn serialize_tuple_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                len: usize,
-            ) -> Result<Seq<'a, 'b>, SerError> {
-                self.serialize_tuple(len)
-            }
-            fn serialize_map(self, _: Option<usize>) -> Result<Map<'a, 'b>, SerError> {
-                self.push("{");
-                Ok(Map {
-                    ser: self,
-                    first: true,
-                })
-            }
-            fn serialize_struct(
-                self,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Map<'a, 'b>, SerError> {
-                self.serialize_map(None)
-            }
-            fn serialize_struct_variant(
-                self,
-                _: &'static str,
-                _: u32,
-                _: &'static str,
-                _: usize,
-            ) -> Result<Map<'a, 'b>, SerError> {
-                self.serialize_map(None)
-            }
-        }
-
-        impl ser::SerializeSeq for Seq<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_element<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.element(value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.finish()
-            }
-        }
-        impl ser::SerializeTuple for Seq<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_element<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.element(value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.finish()
-            }
-        }
-        impl ser::SerializeTupleStruct for Seq<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_field<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.element(value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.finish()
-            }
-        }
-        impl ser::SerializeTupleVariant for Seq<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_field<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.element(value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.finish()
-            }
-        }
-        impl ser::SerializeMap for Map<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), SerError> {
-                if !self.first {
-                    self.ser.push(",");
-                }
-                self.first = false;
-                key.serialize(&mut *self.ser)
-            }
-            fn serialize_value<T: ?Sized + Serialize>(
-                &mut self,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.ser.push(":");
-                value.serialize(&mut *self.ser)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.ser.push("}");
-                Ok(())
-            }
-        }
-        impl ser::SerializeStruct for Map<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_field<T: ?Sized + Serialize>(
-                &mut self,
-                key: &'static str,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.field(key, value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.ser.push("}");
-                Ok(())
-            }
-        }
-        impl ser::SerializeStructVariant for Map<'_, '_> {
-            type Ok = ();
-            type Error = SerError;
-            fn serialize_field<T: ?Sized + Serialize>(
-                &mut self,
-                key: &'static str,
-                value: &T,
-            ) -> Result<(), SerError> {
-                self.field(key, value)
-            }
-            fn end(self) -> Result<(), SerError> {
-                self.ser.push("}");
-                Ok(())
-            }
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
         }
     }
 
-    mod json_de {
-        use serde::de::{self, DeserializeSeed, MapAccess, SeqAccess, Visitor};
-
-        #[derive(Debug)]
-        pub struct DeError(pub String);
-        impl std::fmt::Display for DeError {
-            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-                write!(f, "{}", self.0)
-            }
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
         }
-        impl std::error::Error for DeError {}
-        impl de::Error for DeError {
-            fn custom<T: std::fmt::Display>(msg: T) -> Self {
-                DeError(msg.to_string())
-            }
-        }
+    }
 
-        pub struct Deserializer<'de> {
-            input: &'de str,
-            pos: usize,
-        }
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
 
-        impl<'de> Deserializer<'de> {
-            pub fn new(input: &'de str) -> Self {
-                Deserializer { input, pos: 0 }
-            }
-            pub fn is_done(&self) -> bool {
-                self.pos >= self.input.len()
-            }
-            fn rest(&self) -> &'de str {
-                &self.input[self.pos..]
-            }
-            pub fn skip_ws(&mut self) {
-                let trimmed = self.rest().trim_start();
-                self.pos = self.input.len() - trimmed.len();
-            }
-            fn peek(&mut self) -> Option<char> {
-                self.skip_ws();
-                self.rest().chars().next()
-            }
-            fn expect(&mut self, c: char) -> Result<(), DeError> {
-                self.skip_ws();
-                if self.rest().starts_with(c) {
-                    self.pos += c.len_utf8();
-                    Ok(())
-                } else {
-                    Err(DeError(format!(
-                        "expected '{c}' at offset {}: ...{}",
-                        self.pos,
-                        &self.rest()[..self.rest().len().min(20)]
-                    )))
-                }
-            }
-            fn parse_number(&mut self) -> Result<f64, DeError> {
-                self.skip_ws();
-                let rest = self.rest();
-                let end = rest
-                    .char_indices()
-                    .find(|&(_, c)| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
-                    .map_or(rest.len(), |(i, _)| i);
-                let token = &rest[..end];
-                let value: f64 = token
-                    .parse()
-                    .map_err(|_| DeError(format!("bad number '{token}'")))?;
-                self.pos += end;
-                Ok(value)
-            }
-            fn parse_string(&mut self) -> Result<String, DeError> {
-                self.expect('"')?;
-                let mut out = String::new();
-                let mut chars = self.rest().char_indices();
-                loop {
-                    let Some((i, c)) = chars.next() else {
-                        return Err(DeError("unterminated string".into()));
-                    };
-                    match c {
-                        '"' => {
-                            self.pos += i + 1;
-                            return Ok(out);
-                        }
-                        '\\' => {
-                            let Some((_, esc)) = chars.next() else {
-                                return Err(DeError("bad escape".into()));
-                            };
-                            match esc {
-                                '"' => out.push('"'),
-                                '\\' => out.push('\\'),
-                                'n' => out.push('\n'),
-                                't' => out.push('\t'),
-                                'r' => out.push('\r'),
-                                'u' => {
-                                    let mut code = 0u32;
-                                    for _ in 0..4 {
-                                        let Some((_, h)) = chars.next() else {
-                                            return Err(DeError("bad \\u".into()));
-                                        };
-                                        code = code * 16
-                                            + h.to_digit(16)
-                                                .ok_or_else(|| DeError("bad hex".into()))?;
-                                    }
-                                    out.push(
-                                        char::from_u32(code)
-                                            .ok_or_else(|| DeError("bad codepoint".into()))?,
-                                    );
-                                }
-                                other => {
-                                    return Err(DeError(format!("bad escape '\\{other}'")));
-                                }
-                            }
-                        }
-                        c => out.push(c),
-                    }
+    fn peek_is(&mut self, c: char) -> bool {
+        self.peek() == Some(c as u8)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek_is(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            let found = self.peek().map(|b| b as char);
+            Err(Error(format!(
+                "expected '{c}' at byte {}, found {found:?}",
+                self.pos
+            )))
+        }
+    }
+
+    fn expect_key(&mut self, key: &str) -> Result<()> {
+        self.skip_ws();
+        let quoted = format!("\"{key}\"");
+        if self.bytes[self.pos..].starts_with(quoted.as_bytes()) {
+            self.pos += quoted.len();
+            self.expect(':')
+        } else {
+            Err(Error(format!("expected key {quoted} at byte {}", self.pos)))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(Error(format!("trailing input at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(Error(format!("expected integer at byte {start}")));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are utf8")
+            .parse()
+            .map_err(|e| Error(format!("bad integer at byte {start}: {e}")))
+    }
+
+    fn parse_u32(&mut self) -> Result<u32> {
+        let v = self.parse_u64()?;
+        u32::try_from(v).map_err(|_| Error(format!("integer {v} out of u32 range")))
+    }
+
+    fn parse_graph(&mut self) -> Result<LabeledGraph> {
+        self.expect('{')?;
+        self.expect_key("labels")?;
+        let mut labels = Vec::new();
+        self.expect('[')?;
+        if !self.peek_is(']') {
+            loop {
+                labels.push(self.parse_u32()?);
+                if !self.eat(',') {
+                    break;
                 }
             }
         }
-
-        impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
-            type Error = DeError;
-
-            fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DeError> {
-                match self.peek() {
-                    Some('"') => visitor.visit_string(self.parse_string()?),
-                    Some('[') => self.deserialize_seq(visitor),
-                    Some('{') => self.deserialize_map(visitor),
-                    Some('t') | Some('f') => self.deserialize_bool(visitor),
-                    Some('n') => {
-                        self.pos += 4;
-                        visitor.visit_unit()
-                    }
-                    Some(_) => {
-                        let n = self.parse_number()?;
-                        if n.fract() == 0.0 && n >= 0.0 {
-                            visitor.visit_u64(n as u64)
-                        } else if n.fract() == 0.0 {
-                            visitor.visit_i64(n as i64)
-                        } else {
-                            visitor.visit_f64(n)
-                        }
-                    }
-                    None => Err(DeError("unexpected end of input".into())),
-                }
-            }
-
-            serde::forward_to_deserialize_any! {
-                i8 i16 i32 i64 i128 u8 u16 u32 u64 u128 f32 f64 char str string
-                bytes byte_buf unit unit_struct ignored_any identifier
-            }
-
-            fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DeError> {
-                self.skip_ws();
-                if self.rest().starts_with("true") {
-                    self.pos += 4;
-                    visitor.visit_bool(true)
-                } else if self.rest().starts_with("false") {
-                    self.pos += 5;
-                    visitor.visit_bool(false)
-                } else {
-                    Err(DeError("expected bool".into()))
-                }
-            }
-
-            fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DeError> {
-                if self.peek() == Some('n') {
-                    self.pos += 4;
-                    visitor.visit_none()
-                } else {
-                    visitor.visit_some(self)
-                }
-            }
-
-            fn deserialize_newtype_struct<V: Visitor<'de>>(
-                self,
-                _: &'static str,
-                visitor: V,
-            ) -> Result<V::Value, DeError> {
-                visitor.visit_newtype_struct(self)
-            }
-
-            fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DeError> {
+        self.expect(']')?;
+        self.expect(',')?;
+        self.expect_key("edges")?;
+        let mut edges = Vec::new();
+        self.expect('[')?;
+        if !self.peek_is(']') {
+            loop {
                 self.expect('[')?;
-                let value = visitor.visit_seq(CommaSeparated {
-                    de: self,
-                    first: true,
-                    terminator: ']',
-                })?;
+                let u = self.parse_u32()?;
+                self.expect(',')?;
+                let v = self.parse_u32()?;
                 self.expect(']')?;
-                Ok(value)
-            }
-
-            fn deserialize_tuple<V: Visitor<'de>>(
-                self,
-                _: usize,
-                visitor: V,
-            ) -> Result<V::Value, DeError> {
-                self.deserialize_seq(visitor)
-            }
-
-            fn deserialize_tuple_struct<V: Visitor<'de>>(
-                self,
-                _: &'static str,
-                _: usize,
-                visitor: V,
-            ) -> Result<V::Value, DeError> {
-                self.deserialize_seq(visitor)
-            }
-
-            fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DeError> {
-                self.expect('{')?;
-                let value = visitor.visit_map(CommaSeparated {
-                    de: self,
-                    first: true,
-                    terminator: '}',
-                })?;
-                self.expect('}')?;
-                Ok(value)
-            }
-
-            fn deserialize_struct<V: Visitor<'de>>(
-                self,
-                _: &'static str,
-                _: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, DeError> {
-                self.deserialize_map(visitor)
-            }
-
-            fn deserialize_enum<V: Visitor<'de>>(
-                self,
-                _: &'static str,
-                _: &'static [&'static str],
-                visitor: V,
-            ) -> Result<V::Value, DeError> {
-                visitor.visit_enum(EnumAccess { de: self })
-            }
-        }
-
-        struct CommaSeparated<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-            first: bool,
-            terminator: char,
-        }
-
-        impl<'a, 'de> CommaSeparated<'a, 'de> {
-            fn at_end(&mut self) -> bool {
-                self.de.peek() == Some(self.terminator)
-            }
-            fn advance(&mut self) -> Result<bool, DeError> {
-                if self.at_end() {
-                    return Ok(false);
+                edges.push((u, v));
+                if !self.eat(',') {
+                    break;
                 }
-                if !self.first {
-                    self.de.expect(',')?;
-                }
-                self.first = false;
-                Ok(true)
             }
         }
-
-        impl<'de> SeqAccess<'de> for CommaSeparated<'_, 'de> {
-            type Error = DeError;
-            fn next_element_seed<T: DeserializeSeed<'de>>(
-                &mut self,
-                seed: T,
-            ) -> Result<Option<T::Value>, DeError> {
-                if !self.advance()? {
-                    return Ok(None);
-                }
-                seed.deserialize(&mut *self.de).map(Some)
+        self.expect(']')?;
+        self.expect('}')?;
+        let n = labels.len() as u32;
+        for &(u, v) in &edges {
+            if u >= n || v >= n || u == v {
+                return Err(Error(format!("invalid edge ({u}, {v}) for {n} vertices")));
             }
         }
-
-        impl<'de> MapAccess<'de> for CommaSeparated<'_, 'de> {
-            type Error = DeError;
-            fn next_key_seed<K: DeserializeSeed<'de>>(
-                &mut self,
-                seed: K,
-            ) -> Result<Option<K::Value>, DeError> {
-                if !self.advance()? {
-                    return Ok(None);
-                }
-                seed.deserialize(&mut *self.de).map(Some)
+        let mut g = LabeledGraph::from_parts(labels, &[]);
+        for &(u, v) in &edges {
+            if g.has_edge(u, v) {
+                return Err(Error(format!("duplicate edge ({u}, {v})")));
             }
-            fn next_value_seed<V: DeserializeSeed<'de>>(
-                &mut self,
-                seed: V,
-            ) -> Result<V::Value, DeError> {
-                self.de.expect(':')?;
-                seed.deserialize(&mut *self.de)
-            }
+            g.add_edge(u, v);
         }
-
-        struct EnumAccess<'a, 'de> {
-            de: &'a mut Deserializer<'de>,
-        }
-
-        impl<'de> de::EnumAccess<'de> for EnumAccess<'_, 'de> {
-            type Error = DeError;
-            type Variant = UnitVariant;
-            fn variant_seed<V: DeserializeSeed<'de>>(
-                self,
-                seed: V,
-            ) -> Result<(V::Value, UnitVariant), DeError> {
-                // Only unit variants are produced by our types.
-                let value = seed.deserialize(&mut *self.de)?;
-                Ok((value, UnitVariant))
-            }
-        }
-
-        pub struct UnitVariant;
-        impl<'de> de::VariantAccess<'de> for UnitVariant {
-            type Error = DeError;
-            fn unit_variant(self) -> Result<(), DeError> {
-                Ok(())
-            }
-            fn newtype_variant_seed<T: DeserializeSeed<'de>>(
-                self,
-                _: T,
-            ) -> Result<T::Value, DeError> {
-                Err(DeError("newtype variants unsupported".into()))
-            }
-            fn tuple_variant<V: Visitor<'de>>(self, _: usize, _: V) -> Result<V::Value, DeError> {
-                Err(DeError("tuple variants unsupported".into()))
-            }
-            fn struct_variant<V: Visitor<'de>>(
-                self,
-                _: &'static [&'static str],
-                _: V,
-            ) -> Result<V::Value, DeError> {
-                Err(DeError("struct variants unsupported".into()))
-            }
-        }
+        Ok(g)
     }
 }
 
@@ -847,21 +372,32 @@ mod tests {
         assert!(db_from_json("{").is_err());
         assert!(db_from_json("").is_err());
         assert!(patterns_from_json("[{}").is_err());
-        assert!(db_from_json("[] trailing").is_err());
+        assert!(db_from_json("{\"graphs\":[]} trailing").is_err());
     }
 
     #[test]
-    fn strings_with_escapes_roundtrip() {
-        use serde::{Deserialize, Serialize};
-        #[derive(Debug, PartialEq, Serialize, Deserialize)]
-        struct S {
-            text: String,
-        }
-        let original = S {
-            text: "a\"b\\c\nd\te".to_owned(),
-        };
-        let json = serde_json_like::to_string(&original).unwrap();
-        let back: S = serde_json_like::from_str(&json).unwrap();
-        assert_eq!(original, back);
+    fn whitespace_is_tolerated() {
+        let json = "[ { \"labels\" : [ 0 , 1 ] , \"edges\" : [ [ 0 , 1 ] ] } ]";
+        let back = patterns_from_json(json).expect("deserialize");
+        assert_eq!(back, vec![path(&[0, 1])]);
+    }
+
+    #[test]
+    fn invalid_edges_are_rejected() {
+        // Out of range endpoint.
+        assert!(patterns_from_json("[{\"labels\":[0],\"edges\":[[0,1]]}]").is_err());
+        // Self loop.
+        assert!(patterns_from_json("[{\"labels\":[0,0],\"edges\":[[1,1]]}]").is_err());
+        // Duplicate edge.
+        assert!(patterns_from_json("[{\"labels\":[0,0],\"edges\":[[0,1],[1,0]]}]").is_err());
+    }
+
+    #[test]
+    fn empty_db_and_empty_patterns() {
+        let db = GraphDb::new();
+        let back = db_from_json(&db_to_json(&db).unwrap()).unwrap();
+        assert!(back.is_empty());
+        let ps = patterns_from_json(&patterns_to_json(&[]).unwrap()).unwrap();
+        assert!(ps.is_empty());
     }
 }

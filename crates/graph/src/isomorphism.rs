@@ -13,7 +13,83 @@
 //! materializes in practice — exactly the observation the paper makes after
 //! Lemma 5.3.
 
-use crate::graph::{LabeledGraph, VertexId};
+use crate::graph::{EdgeLabel, LabeledGraph, VertexId};
+use crate::labels::LabelId;
+use std::collections::BTreeMap;
+
+/// A cheap necessary-condition summary of a graph for subgraph-isomorphism
+/// quick rejection.
+///
+/// For `pattern ⊆ target` (non-induced) to hold, all of the following must:
+///
+/// * **label multiset** — the target has at least as many vertices of every
+///   label as the pattern;
+/// * **degree sequences** — within each label class, the descending degree
+///   sequences are pairwise dominated (`p_i ≤ t_i`). Any embedding maps a
+///   pattern vertex of degree `d` to a same-labeled target vertex of degree
+///   `≥ d`, injectively, and a greedy/Hall argument shows such an injection
+///   exists only under pairwise dominance of the sorted sequences;
+/// * **edge-label multiset** — every pattern edge label occurs in the target
+///   at least as often.
+///
+/// These checks are sound (they never reject a true embedding) and run in
+/// `O(V + E)` after construction, skipping the VF2 search entirely for most
+/// incompatible `(pattern, graph)` pairs in a matrix scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSignature {
+    /// Per vertex label: degrees of that label class, sorted descending.
+    label_degrees: BTreeMap<LabelId, Vec<u32>>,
+    /// Edge-label multiset as counts.
+    edge_labels: BTreeMap<EdgeLabel, u32>,
+}
+
+impl GraphSignature {
+    /// Builds the signature of `g`.
+    pub fn of(g: &LabeledGraph) -> Self {
+        let mut label_degrees: BTreeMap<LabelId, Vec<u32>> = BTreeMap::new();
+        for v in g.vertices() {
+            label_degrees
+                .entry(g.label(v))
+                .or_default()
+                .push(g.degree(v) as u32);
+        }
+        for degs in label_degrees.values_mut() {
+            degs.sort_unstable_by(|a, b| b.cmp(a));
+        }
+        let mut edge_labels: BTreeMap<EdgeLabel, u32> = BTreeMap::new();
+        for el in g.edge_labels() {
+            *edge_labels.entry(el).or_insert(0) += 1;
+        }
+        GraphSignature {
+            label_degrees,
+            edge_labels,
+        }
+    }
+
+    /// Whether a graph with signature `self` **may** embed into one with
+    /// signature `target` — `false` guarantees there is no embedding; `true`
+    /// is inconclusive.
+    pub fn may_embed_in(&self, target: &GraphSignature) -> bool {
+        for (label, pdegs) in &self.label_degrees {
+            let Some(tdegs) = target.label_degrees.get(label) else {
+                return false;
+            };
+            if pdegs.len() > tdegs.len() {
+                return false;
+            }
+            // Both sorted descending: pairwise dominance.
+            if pdegs.iter().zip(tdegs).any(|(p, t)| p > t) {
+                return false;
+            }
+        }
+        for (el, pcount) in &self.edge_labels {
+            if target.edge_labels.get(el).copied().unwrap_or(0) < *pcount {
+                return false;
+            }
+        }
+        true
+    }
+}
 
 /// Returns `true` if `pattern` is subgraph-isomorphic to `target`
 /// (`pattern ⊆ target` in the paper's notation).
@@ -151,6 +227,9 @@ where
     if pn > target.vertex_count() || pattern.edge_count() > target.edge_count() {
         return;
     }
+    if !GraphSignature::of(pattern).may_embed_in(&GraphSignature::of(target)) {
+        return;
+    }
     let order = matching_order(pattern);
     let mut mapping = vec![u32::MAX; pn]; // pattern -> target
     let mut used = vec![false; target.vertex_count()];
@@ -177,15 +256,8 @@ where
     let pdeg = pattern.degree(*pv);
 
     // Candidate targets: neighbors of an anchor image if anchored, else all.
-    let run = |cand: VertexId,
-               mapping: &mut [u32],
-               used: &mut [bool],
-               visit: &mut F|
-     -> Control {
-        if used[cand as usize]
-            || target.label(cand) != plabel
-            || target.degree(cand) < pdeg
-        {
+    let run = |cand: VertexId, mapping: &mut [u32], used: &mut [bool], visit: &mut F| -> Control {
+        if used[cand as usize] || target.label(cand) != plabel || target.degree(cand) < pdeg {
             return Control::Continue;
         }
         // Every already-mapped pattern neighbor must be a target neighbor.
@@ -404,6 +476,57 @@ mod tests {
                     count_embeddings_brute_force(p, t),
                     "mismatch for pattern {p:?} in target {t:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn signature_rejects_obvious_mismatches() {
+        let sig = |g: &LabeledGraph| GraphSignature::of(g);
+        // Label missing in target.
+        assert!(!sig(&path(&[0, 7])).may_embed_in(&sig(&path(&[0, 1, 0]))));
+        // Too many vertices of one label.
+        assert!(!sig(&path(&[0, 0, 0])).may_embed_in(&sig(&path(&[0, 0]))));
+        // Degree sequence not dominated: star hub needs degree 3.
+        let star = GraphBuilder::new()
+            .vertices(&[0, 0, 0, 0])
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 3)
+            .build();
+        assert!(!sig(&star).may_embed_in(&sig(&path(&[0, 0, 0, 0]))));
+        // Edge label absent from target (labels and degrees all compatible:
+        // the target has a 0- and a 1-labeled vertex of degree ≥ 1, but its
+        // edges are 0-2 and 1-2, never 0-1).
+        assert!(!sig(&path(&[0, 1])).may_embed_in(&sig(&path(&[0, 2, 1]))));
+    }
+
+    #[test]
+    fn signature_never_rejects_true_embeddings() {
+        // Exhaustive mini-check: whenever VF2 finds an embedding, the
+        // signature prefilter must say "maybe".
+        let graphs = vec![
+            path(&[0, 0]),
+            path(&[0, 1, 0]),
+            path(&[0, 1, 0, 1]),
+            triangle(0),
+            GraphBuilder::new()
+                .vertices(&[0, 0, 1, 1, 0])
+                .edge(0, 1)
+                .edge(1, 2)
+                .edge(2, 3)
+                .edge(3, 0)
+                .edge(3, 4)
+                .build(),
+        ];
+        for p in &graphs {
+            for t in &graphs {
+                if is_subgraph_of(p, t) {
+                    assert!(
+                        GraphSignature::of(p).may_embed_in(&GraphSignature::of(t)),
+                        "prefilter rejected a true embedding: {p:?} ⊆ {t:?}"
+                    );
+                }
             }
         }
     }

@@ -26,6 +26,11 @@
 //!   building block of cluster summary graphs.
 //! * [`canonical`] — canonical codes for small graphs, used to
 //!   de-duplicate candidate patterns.
+//! * [`exec`] — scoped-thread `par_map`/`par_chunks` helpers shared by
+//!   every parallel `(graph × pattern)` scan in the workspace.
+//! * [`cache`] — a sharded [`EmbeddingCache`] memoizing capped embedding
+//!   counts per `(pattern canonical key, GraphId)`, invalidated per graph
+//!   on batch updates.
 //!
 //! All stochastic components take explicit seeds; nothing in this crate
 //! reads ambient randomness, so every experiment is reproducible.
@@ -33,21 +38,26 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod canonical;
 pub mod closure;
 pub mod db;
 pub mod dot;
+pub mod exec;
 pub mod ged;
 pub mod graph;
 pub mod graphlets;
 pub mod io;
 pub mod isomorphism;
+pub mod kernel;
 pub mod labels;
 pub mod mccs;
 
+pub use cache::{CacheStats, CachedPattern, EmbeddingCache};
 pub use canonical::CanonicalCode;
 pub use closure::ClosureGraph;
 pub use db::{BatchUpdate, GraphDb, GraphId};
 pub use graph::{EdgeLabel, GraphBuilder, LabeledGraph, VertexId};
 pub use graphlets::{GraphletCounts, GraphletDistribution, GraphletKind};
+pub use kernel::MatchKernel;
 pub use labels::{Interner, LabelId};

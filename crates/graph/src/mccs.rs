@@ -116,7 +116,10 @@ impl Search<'_> {
 /// tells whether the search completed.
 pub fn mccs_edges(a: &LabeledGraph, b: &LabeledGraph, budget: u64) -> MccsResult {
     if a.edge_count() == 0 || b.edge_count() == 0 {
-        return MccsResult { edges: 0, exact: true };
+        return MccsResult {
+            edges: 0,
+            exact: true,
+        };
     }
     // Search from the smaller-vertex-count side for a smaller branching tree.
     let (g1, g2) = if a.vertex_count() <= b.vertex_count() {

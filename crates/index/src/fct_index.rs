@@ -5,7 +5,7 @@ use crate::sparse::SparseMatrix;
 use crate::trie::Trie;
 use crate::{PatternId, EMBED_CAP};
 use midas_graph::isomorphism::count_embeddings;
-use midas_graph::{GraphId, LabeledGraph};
+use midas_graph::{GraphId, LabeledGraph, MatchKernel};
 use midas_mining::TreeKey;
 use std::collections::BTreeMap;
 
@@ -50,6 +50,23 @@ impl FctIndex {
         let mut index = Self::new();
         for (key, tree) in features {
             index.add_feature_with(key, tree, graphs.clone(), patterns.clone());
+        }
+        index
+    }
+
+    /// Parallel + memoized form of [`FctIndex::build`]: embedding counts
+    /// run through `kernel` (data-graph columns cached by
+    /// `(pattern key, GraphId)`; canned-pattern columns parallel only).
+    /// Produces a matrix identical to the serial build.
+    pub fn build_with(
+        kernel: &MatchKernel,
+        features: impl IntoIterator<Item = (TreeKey, LabeledGraph)>,
+        graphs: &[(GraphId, &LabeledGraph)],
+        patterns: &[(PatternId, &LabeledGraph)],
+    ) -> Self {
+        let mut index = Self::new();
+        for (key, tree) in features {
+            index.add_feature_kernel(kernel, key, &tree, graphs, patterns);
         }
         index
     }
@@ -121,6 +138,42 @@ impl FctIndex {
         id
     }
 
+    /// Parallel + memoized form of [`FctIndex::add_feature_with`]: the
+    /// feature's TG row is computed by the kernel (cached per graph), the TP
+    /// row in parallel. No-op if the key is present.
+    pub fn add_feature_kernel(
+        &mut self,
+        kernel: &MatchKernel,
+        key: TreeKey,
+        tree: &LabeledGraph,
+        graphs: &[(GraphId, &LabeledGraph)],
+        patterns: &[(PatternId, &LabeledGraph)],
+    ) -> FeatureId {
+        if let Some(existing) = self.trie.lookup(key.tokens()) {
+            return existing;
+        }
+        let id = FeatureId(self.next_feature);
+        self.next_feature += 1;
+        self.trie.insert(key.tokens(), id);
+        let graph_counts = kernel.count_in_graphs(tree, graphs, EMBED_CAP);
+        for (&(gid, _), count) in graphs.iter().zip(graph_counts) {
+            self.tg.set(id, gid, count as u32);
+        }
+        let pattern_targets: Vec<&LabeledGraph> = patterns.iter().map(|&(_, p)| p).collect();
+        let pattern_counts = kernel.count_plain_many(tree, &pattern_targets, EMBED_CAP);
+        for (&(pid, _), count) in patterns.iter().zip(pattern_counts) {
+            self.tp.set(id, pid, count as u32);
+        }
+        self.features.insert(
+            id,
+            Feature {
+                key,
+                tree: tree.clone(),
+            },
+        );
+        id
+    }
+
     /// Removes a feature row (maintenance rule 2).
     pub fn remove_feature(&mut self, key: &TreeKey) -> Option<FeatureId> {
         let id = self.trie.remove(key.tokens())?;
@@ -136,6 +189,28 @@ impl FctIndex {
         for (&fid, feature) in &self.features {
             let count = count_embeddings(&feature.tree, graph, EMBED_CAP) as u32;
             self.tg.set(fid, id, count);
+        }
+    }
+
+    /// Batch, parallel + memoized form of [`FctIndex::add_graph`]
+    /// (maintenance rule 3 over a whole `Δ⁺`): every feature is prepared
+    /// once, then counted in every new graph through the kernel.
+    pub fn add_graphs_kernel(&mut self, kernel: &MatchKernel, graphs: &[(GraphId, &LabeledGraph)]) {
+        if graphs.is_empty() || self.features.is_empty() {
+            return;
+        }
+        let prepared: Vec<(FeatureId, midas_graph::CachedPattern)> = self
+            .features
+            .iter()
+            .map(|(&fid, f)| (fid, kernel.prepare(&f.tree)))
+            .collect();
+        let cached: Vec<midas_graph::CachedPattern> =
+            prepared.iter().map(|(_, p)| p.clone()).collect();
+        let grid = kernel.count_grid(&cached, graphs, EMBED_CAP);
+        for (&(gid, _), row) in graphs.iter().zip(grid) {
+            for (&(fid, _), count) in prepared.iter().zip(row) {
+                self.tg.set(fid, gid, count as u32);
+            }
         }
     }
 
@@ -170,8 +245,7 @@ impl FctIndex {
         G: IntoIterator<Item = (GraphId, &'a LabeledGraph)> + Clone,
         P: IntoIterator<Item = (PatternId, &'a LabeledGraph)> + Clone,
     {
-        let want: BTreeMap<&TreeKey, &LabeledGraph> =
-            target.iter().map(|(k, t)| (k, *t)).collect();
+        let want: BTreeMap<&TreeKey, &LabeledGraph> = target.iter().map(|(k, t)| (k, *t)).collect();
         let stale: Vec<TreeKey> = self
             .features
             .values()
@@ -184,6 +258,31 @@ impl FctIndex {
         for (key, tree) in target {
             if self.trie.lookup(key.tokens()).is_none() {
                 self.add_feature_with(key.clone(), tree, graphs.clone(), patterns.clone());
+            }
+        }
+    }
+
+    /// Parallel + memoized form of [`FctIndex::refresh_features`].
+    pub fn refresh_features_kernel(
+        &mut self,
+        kernel: &MatchKernel,
+        target: &[(TreeKey, &LabeledGraph)],
+        graphs: &[(GraphId, &LabeledGraph)],
+        patterns: &[(PatternId, &LabeledGraph)],
+    ) {
+        let want: BTreeMap<&TreeKey, &LabeledGraph> = target.iter().map(|(k, t)| (k, *t)).collect();
+        let stale: Vec<TreeKey> = self
+            .features
+            .values()
+            .filter(|f| !want.contains_key(&f.key))
+            .map(|f| f.key.clone())
+            .collect();
+        for key in stale {
+            self.remove_feature(&key);
+        }
+        for (key, tree) in target {
+            if self.trie.lookup(key.tokens()).is_none() {
+                self.add_feature_kernel(kernel, key.clone(), tree, graphs, patterns);
             }
         }
     }
@@ -333,6 +432,70 @@ mod tests {
         let on_id = index.feature_by_key(&tree_key(&on)).unwrap();
         assert_eq!(index.tg().get(on_id, gid(1)), 1);
         assert_eq!(index.tg().get(on_id, gid(2)), 0);
+    }
+
+    #[test]
+    fn kernel_build_matches_serial_build() {
+        let features = [path(&[0, 1]), path(&[0, 1, 2]), path(&[1, 2])];
+        let graphs = [path(&[0, 1, 2]), path(&[1, 0, 1]), path(&[0, 1, 2, 1, 0])];
+        let patterns = [path(&[0, 1, 2]), path(&[0, 1])];
+        let graph_refs: Vec<(GraphId, &LabeledGraph)> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (gid(i as u64), g))
+            .collect();
+        let pattern_refs: Vec<(PatternId, &LabeledGraph)> = patterns
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (pid(i as u64), p))
+            .collect();
+        let serial = FctIndex::build(
+            features.iter().map(|t| (tree_key(t), t)),
+            graph_refs.iter().copied(),
+            pattern_refs.iter().copied(),
+        );
+        let kernel = MatchKernel::new(4);
+        let parallel = FctIndex::build_with(
+            &kernel,
+            features.iter().map(|t| (tree_key(t), t.clone())),
+            &graph_refs,
+            &pattern_refs,
+        );
+        assert_eq!(serial.feature_count(), parallel.feature_count());
+        for (fid, _) in serial.features() {
+            for &(gid, _) in &graph_refs {
+                assert_eq!(serial.tg().get(fid, gid), parallel.tg().get(fid, gid));
+            }
+            for &(pid, _) in &pattern_refs {
+                assert_eq!(serial.tp().get(fid, pid), parallel.tp().get(fid, pid));
+            }
+        }
+    }
+
+    #[test]
+    fn add_graphs_kernel_matches_serial_columns() {
+        let (mut serial, ..) = setup();
+        let (mut cached, ..) = setup();
+        let news = [path(&[0, 1, 0, 1]), path(&[2, 1, 0])];
+        for (i, g) in news.iter().enumerate() {
+            serial.add_graph(gid(10 + i as u64), g);
+        }
+        let refs: Vec<(GraphId, &LabeledGraph)> = news
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (gid(10 + i as u64), g))
+            .collect();
+        let kernel = MatchKernel::new(2);
+        cached.add_graphs_kernel(&kernel, &refs);
+        for (fid, _) in serial.features() {
+            for &(gid, _) in &refs {
+                assert_eq!(serial.tg().get(fid, gid), cached.tg().get(fid, gid));
+            }
+        }
+        // A second pass is served from the memo and stays identical.
+        let before = kernel.cache().stats().misses;
+        cached.add_graphs_kernel(&kernel, &refs);
+        assert_eq!(kernel.cache().stats().misses, before);
     }
 
     #[test]

@@ -77,6 +77,20 @@ impl PfMatrix {
         }
     }
 
+    /// Builds the PF-matrices of many patterns in parallel (scoped
+    /// threads, `threads = 0` for auto). The swap search rebuilds
+    /// PF-matrices for every candidate × every current pattern; batching
+    /// them amortises the embedding enumeration across cores. Output is in
+    /// input order and identical to serial [`PfMatrix::build`] calls.
+    pub fn build_many(
+        fct: &FctIndex,
+        ife: &IfeIndex,
+        patterns: &[&LabeledGraph],
+        threads: usize,
+    ) -> Vec<Self> {
+        midas_graph::exec::par_map(threads, patterns, |p| PfMatrix::build(fct, ife, p))
+    }
+
     /// Number of rows (pattern edges).
     pub fn edge_count(&self) -> usize {
         self.edge_count
@@ -244,6 +258,27 @@ mod tests {
                 let base = ged_label_lower_bound(a, b);
                 assert!(tight >= base, "tight {tight} < base {base}");
             }
+        }
+    }
+
+    #[test]
+    fn build_many_matches_serial_builds() {
+        let features = vec![path(&[0, 1]), path(&[1, 2])];
+        let (fct, ife) = indices(&features, &[EdgeLabel::new(2, 3)]);
+        let patterns = [
+            path(&[0, 1, 2]),
+            path(&[1, 0, 1]),
+            path(&[2, 3, 2]),
+            path(&[0, 1, 2, 3]),
+        ];
+        let refs: Vec<&LabeledGraph> = patterns.iter().collect();
+        let batch = PfMatrix::build_many(&fct, &ife, &refs, 2);
+        assert_eq!(batch.len(), patterns.len());
+        for (pf, p) in batch.iter().zip(&patterns) {
+            let serial = PfMatrix::build(&fct, &ife, p);
+            assert_eq!(pf.edge_count(), serial.edge_count());
+            assert_eq!(pf.column_count(), serial.column_count());
+            assert_eq!(pf.feature_multiset(), serial.feature_multiset());
         }
     }
 

@@ -13,7 +13,7 @@ use crate::fct_index::FctIndex;
 use crate::ife_index::IfeIndex;
 use crate::EMBED_CAP;
 use midas_graph::isomorphism::{count_embeddings, is_subgraph_of};
-use midas_graph::{EdgeLabel, GraphDb, GraphId, LabeledGraph};
+use midas_graph::{EdgeLabel, GraphDb, GraphId, LabeledGraph, MatchKernel};
 use std::collections::BTreeSet;
 
 /// A pattern's feature-count profile against the current indices.
@@ -107,10 +107,32 @@ pub fn covered_graphs(
     let profile = profile_pattern(fct, ife, pattern);
     candidate_graphs(fct, ife, &profile, universe)
         .into_iter()
-        .filter(|&id| {
-            db.get(id)
-                .is_some_and(|g| is_subgraph_of(pattern, g))
-        })
+        .filter(|&id| db.get(id).is_some_and(|g| is_subgraph_of(pattern, g)))
+        .collect()
+}
+
+/// Parallel + memoized form of [`covered_graphs`]: the dominance filter is
+/// unchanged, the surviving candidates are verified through `kernel`
+/// (cached per `(pattern, GraphId)`, VF2 in parallel on misses). Always
+/// returns the same set as the serial path.
+pub fn covered_graphs_with(
+    kernel: &MatchKernel,
+    fct: &FctIndex,
+    ife: &IfeIndex,
+    db: &GraphDb,
+    pattern: &LabeledGraph,
+    universe: &BTreeSet<GraphId>,
+) -> BTreeSet<GraphId> {
+    let profile = profile_pattern(fct, ife, pattern);
+    let candidates: Vec<(GraphId, &LabeledGraph)> = candidate_graphs(fct, ife, &profile, universe)
+        .into_iter()
+        .filter_map(|id| db.get(id).map(|g| (id, g.as_ref())))
+        .collect();
+    kernel
+        .covered_in(pattern, &candidates)
+        .into_iter()
+        .zip(&candidates)
+        .filter_map(|(hit, &(id, _))| hit.then_some(id))
         .collect()
 }
 
@@ -145,11 +167,7 @@ mod tests {
 
     fn setup() -> (FctIndex, IfeIndex, GraphDb) {
         // DB: G0 = C-O-N-S, G1 = C-O-C, G2 = S-N.
-        let db = GraphDb::from_graphs([
-            path(&[0, 1, 2, 3]),
-            path(&[0, 1, 0]),
-            path(&[3, 2]),
-        ]);
+        let db = GraphDb::from_graphs([path(&[0, 1, 2, 3]), path(&[0, 1, 0]), path(&[3, 2])]);
         let features = [path(&[0, 1]), path(&[1, 2])]; // C-O, O-N
         let feature_refs: Vec<(midas_mining::TreeKey, &LabeledGraph)> =
             features.iter().map(|t| (tree_key(t), t)).collect();
@@ -208,6 +226,28 @@ mod tests {
                 .collect();
             assert_eq!(via_index, direct, "pattern {pattern:?}");
         }
+    }
+
+    #[test]
+    fn kernel_covered_graphs_matches_serial() {
+        let (fct, ife, db) = setup();
+        let universe: BTreeSet<GraphId> = db.ids().collect();
+        let kernel = MatchKernel::new(2);
+        for pattern in [
+            path(&[0, 1]),
+            path(&[0, 1, 2]),
+            path(&[2, 3]),
+            path(&[0, 1, 0]),
+            path(&[3, 3]),
+        ] {
+            let serial = covered_graphs(&fct, &ife, &db, &pattern, &universe);
+            let cached = covered_graphs_with(&kernel, &fct, &ife, &db, &pattern, &universe);
+            assert_eq!(serial, cached, "pattern {pattern:?}");
+            // Repeat: answered from the memo, still identical.
+            let again = covered_graphs_with(&kernel, &fct, &ife, &db, &pattern, &universe);
+            assert_eq!(serial, again);
+        }
+        assert!(kernel.cache().stats().hits > 0);
     }
 
     #[test]

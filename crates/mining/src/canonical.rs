@@ -49,9 +49,7 @@ impl TreeKey {
 /// Returns whether `g` is a tree: connected with `|E| = |V| − 1` (the empty
 /// graph is not a tree; a single vertex is).
 pub fn is_tree(g: &LabeledGraph) -> bool {
-    g.vertex_count() >= 1
-        && g.edge_count() == g.vertex_count() - 1
-        && g.is_connected()
+    g.vertex_count() >= 1 && g.edge_count() == g.vertex_count() - 1 && g.is_connected()
 }
 
 /// Finds the 1 or 2 center vertices of a tree by iterative leaf stripping.
@@ -82,7 +80,9 @@ fn centers(tree: &LabeledGraph) -> Vec<VertexId> {
         }
         leaves = next;
     }
-    (0..n as VertexId).filter(|&v| !removed[v as usize]).collect()
+    (0..n as VertexId)
+        .filter(|&v| !removed[v as usize])
+        .collect()
 }
 
 /// Recursive subtree code rooted at `v` (coming from `parent`): the label,
@@ -131,8 +131,7 @@ fn bfs_string(tree: &LabeledGraph, root: VertexId) -> Vec<u32> {
     }
 
     let mut tokens = vec![tree.label(root), SEPARATOR];
-    let mut queue: std::collections::VecDeque<(VertexId, Option<VertexId>)> =
-        [(root, None)].into();
+    let mut queue: std::collections::VecDeque<(VertexId, Option<VertexId>)> = [(root, None)].into();
     // The root family was emitted above as a single label; now emit each
     // dequeued vertex's children as one `$`-terminated family.
     let mut order: Vec<(VertexId, Option<VertexId>)> = Vec::new();

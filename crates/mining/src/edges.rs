@@ -196,7 +196,10 @@ mod tests {
         cat.remove_graph(gid(1), &g1);
         let rebuilt = EdgeCatalog::build([(gid(2), &g2), (gid(3), &g3)]);
         let lhs: Vec<_> = cat.labels().map(|(l, s)| (l, s.support.clone())).collect();
-        let rhs: Vec<_> = rebuilt.labels().map(|(l, s)| (l, s.support.clone())).collect();
+        let rhs: Vec<_> = rebuilt
+            .labels()
+            .map(|(l, s)| (l, s.support.clone()))
+            .collect();
         assert_eq!(lhs, rhs);
     }
 

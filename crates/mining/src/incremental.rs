@@ -198,11 +198,7 @@ mod tests {
 
     #[test]
     fn insertions_match_scratch_mining() {
-        let mut db = GraphDb::from_graphs([
-            path(&[0, 1, 2]),
-            path(&[0, 1]),
-            path(&[0, 1, 2, 3]),
-        ]);
+        let mut db = GraphDb::from_graphs([path(&[0, 1, 2]), path(&[0, 1]), path(&[0, 1, 2, 3])]);
         let mut state = FctState::build(&db, config());
         let (inserted, _) = db.apply(BatchUpdate::insert_only(vec![
             path(&[0, 1, 2]),
@@ -297,12 +293,8 @@ mod tests {
 
     #[test]
     fn huge_deletion_falls_back_to_rebuild() {
-        let mut db = GraphDb::from_graphs([
-            path(&[0, 1]),
-            path(&[0, 1]),
-            path(&[2, 3]),
-            path(&[2, 3]),
-        ]);
+        let mut db =
+            GraphDb::from_graphs([path(&[0, 1]), path(&[0, 1]), path(&[2, 3]), path(&[2, 3])]);
         let mut state = FctState::build(&db, config());
         let victims: Vec<_> = db.ids().take(3).collect();
         let graphs: Vec<_> = victims
@@ -320,12 +312,7 @@ mod tests {
 
     #[test]
     fn fct_filter_uses_user_threshold() {
-        let db = GraphDb::from_graphs([
-            path(&[0, 1]),
-            path(&[0, 1]),
-            path(&[0, 1]),
-            path(&[2, 3]),
-        ]);
+        let db = GraphDb::from_graphs([path(&[0, 1]), path(&[0, 1]), path(&[0, 1]), path(&[2, 3])]);
         let state = FctState::build(&db, config());
         // C-O: support 3/4 >= 0.5 -> FCT. N-S: 1/4 >= 0.25 (tracked) but
         // below 0.5 (not FCT).

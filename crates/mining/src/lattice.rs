@@ -207,7 +207,10 @@ mod tests {
         lat.insert(tree_key(&small), entry(small.clone(), &[1, 2, 3]));
         lat.insert(tree_key(&big), entry(big.clone(), &[1, 2, 3]));
         lat.recompute_closed_flags();
-        assert!(!lat.get(&tree_key(&small)).unwrap().closed, "subsumed by big");
+        assert!(
+            !lat.get(&tree_key(&small)).unwrap().closed,
+            "subsumed by big"
+        );
         assert!(lat.get(&tree_key(&big)).unwrap().closed);
     }
 

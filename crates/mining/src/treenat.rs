@@ -290,8 +290,11 @@ mod tests {
             path(&[0, 1, 3]),
             path(&[0, 2]), // C-N
         ];
-        let graphs: Vec<(GraphId, &LabeledGraph)> =
-            g.iter().enumerate().map(|(i, g)| (gid(i as u64), g)).collect();
+        let graphs: Vec<(GraphId, &LabeledGraph)> = g
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (gid(i as u64), g))
+            .collect();
         let lat = mine_lattice(
             &graphs,
             &MiningConfig {
@@ -322,11 +325,20 @@ mod tests {
             .build(); // triangle: subtrees only
         let graphs = vec![(gid(1), &g1), (gid(2), &g2), (gid(3), &g3)];
         for sup_min in [0.34, 0.5, 1.0] {
-            let cfg = MiningConfig { sup_min, max_edges: 3 };
+            let cfg = MiningConfig {
+                sup_min,
+                max_edges: 3,
+            };
             let fast = mine_lattice(&graphs, &cfg);
             let slow = mine_lattice_brute_force(&graphs, &cfg);
-            let fast_keys: Vec<_> = fast.iter().map(|(k, e)| (k.clone(), e.support.clone(), e.closed)).collect();
-            let slow_keys: Vec<_> = slow.iter().map(|(k, e)| (k.clone(), e.support.clone(), e.closed)).collect();
+            let fast_keys: Vec<_> = fast
+                .iter()
+                .map(|(k, e)| (k.clone(), e.support.clone(), e.closed))
+                .collect();
+            let slow_keys: Vec<_> = slow
+                .iter()
+                .map(|(k, e)| (k.clone(), e.support.clone(), e.closed))
+                .collect();
             assert_eq!(fast_keys, slow_keys, "sup_min = {sup_min}");
         }
     }

@@ -208,10 +208,7 @@ mod tests {
         let queries = vec![path(&[0, 1, 2])];
         let out = study.compare(
             &queries,
-            &[
-                ("MIDAS", vec![path(&[0, 1, 2])]),
-                ("NoMaintain", vec![]),
-            ],
+            &[("MIDAS", vec![path(&[0, 1, 2])]), ("NoMaintain", vec![])],
         );
         assert_eq!(out.len(), 2);
         assert!(out["MIDAS"].qft_secs < out["NoMaintain"].qft_secs);

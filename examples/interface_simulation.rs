@@ -41,11 +41,7 @@ fn main() {
         40,
         311,
     ));
-    let inserted: Vec<GraphId> = midas
-        .db()
-        .ids()
-        .filter(|id| !before.contains(id))
-        .collect();
+    let inserted: Vec<GraphId> = midas.db().ids().filter(|id| !before.contains(id)).collect();
 
     // Users formulate queries balanced over the new compounds (§7.1).
     let queries = midas_datagen::balanced_query_set(midas.db(), &inserted, 20, (6, 14), 312);
@@ -58,7 +54,10 @@ fn main() {
             ("no patterns at all", Vec::new()),
         ],
     );
-    println!("simulated study over {} queries, 25 users:\n", queries.len());
+    println!(
+        "simulated study over {} queries, 25 users:\n",
+        queries.len()
+    );
     println!(
         "{:<22} {:>8} {:>7} {:>7} {:>6}",
         "approach", "QFT", "steps", "VMT", "MP"

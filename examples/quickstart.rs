@@ -34,7 +34,11 @@ fn main() {
         ..MidasConfig::default()
     };
     let mut midas = Midas::bootstrap(dataset.db, config).expect("non-empty database");
-    print_patterns("\ninitial canned patterns", &midas.patterns(), &dataset.interner);
+    print_patterns(
+        "\ninitial canned patterns",
+        &midas.patterns(),
+        &dataset.interner,
+    );
     let q = midas.quality();
     println!(
         "quality: scov={:.2} lcov={:.2} div={:.2} cog={:.2}",
@@ -43,16 +47,26 @@ fn main() {
 
     // 3. The repository evolves: a batch of boronic-ester compounds lands.
     let update = midas_datagen::novel_family_batch(MotifKind::BoronicEster, 50, 99);
-    println!("\napplying a batch of {} novel compounds...", update.insert.len());
+    println!(
+        "\napplying a batch of {} novel compounds...",
+        update.insert.len()
+    );
     let report = midas.apply_batch(update);
     println!(
         "classified {:?} (graphlet drift {:.3}); {} candidates, {} swaps, PMT {:?}",
-        report.kind, report.distance, report.candidates_generated, report.swaps,
+        report.kind,
+        report.distance,
+        report.candidates_generated,
+        report.swaps,
         report.pattern_maintenance_time
     );
 
     // 4. The refreshed pattern set.
-    print_patterns("\nmaintained canned patterns", &midas.patterns(), &dataset.interner);
+    print_patterns(
+        "\nmaintained canned patterns",
+        &midas.patterns(),
+        &dataset.interner,
+    );
     let q = midas.quality();
     println!(
         "quality: scov={:.2} lcov={:.2} div={:.2} cog={:.2}",

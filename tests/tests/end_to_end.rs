@@ -9,7 +9,9 @@ use midas_tests::test_config;
 use std::collections::BTreeSet;
 
 fn bootstrap(size: usize, seed: u64) -> Midas {
-    let db = DatasetSpec::new(DatasetKind::PubchemLike, size, seed).generate().db;
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, size, seed)
+        .generate()
+        .db;
     Midas::bootstrap(db, test_config(seed)).expect("non-empty db")
 }
 
@@ -39,14 +41,14 @@ fn bootstrap_produces_valid_pattern_set() {
 fn same_distribution_growth_is_minor_and_patterns_stay() {
     let mut midas = bootstrap(80, 2);
     let before = midas.patterns();
-    let update = growth_percent(
-        &DatasetKind::PubchemLike.params(),
-        midas.db(),
-        10.0,
-        22,
-    );
+    let update = growth_percent(&DatasetKind::PubchemLike.params(), midas.db(), 10.0, 22);
     let report = midas.apply_batch(update);
-    assert_eq!(report.kind, ModificationKind::Minor, "drift {}", report.distance);
+    assert_eq!(
+        report.kind,
+        ModificationKind::Minor,
+        "drift {}",
+        report.distance
+    );
     assert_eq!(midas.patterns(), before, "minor modifications keep P");
     assert_eq!(report.swaps, 0);
 }
@@ -56,7 +58,12 @@ fn novel_family_is_major() {
     let mut midas = bootstrap(80, 3);
     let update = novel_family_batch(MotifKind::BoronicEster, 30, 33);
     let report = midas.apply_batch(update);
-    assert_eq!(report.kind, ModificationKind::Major, "drift {}", report.distance);
+    assert_eq!(
+        report.kind,
+        ModificationKind::Major,
+        "drift {}",
+        report.distance
+    );
 }
 
 #[test]
@@ -65,7 +72,12 @@ fn substrate_stays_consistent_across_batches() {
     for round in 0..4u64 {
         let update = match round % 3 {
             0 => novel_family_batch(MotifKind::Phosphate, 15, 40 + round),
-            1 => growth_percent(&DatasetKind::PubchemLike.params(), midas.db(), 10.0, 40 + round),
+            1 => growth_percent(
+                &DatasetKind::PubchemLike.params(),
+                midas.db(),
+                10.0,
+                40 + round,
+            ),
             _ => deletion_percent(midas.db(), 10.0, 40 + round),
         };
         midas.apply_batch(update);
@@ -73,7 +85,12 @@ fn substrate_stays_consistent_across_batches() {
         assert_eq!(midas.clusters().total_members(), midas.db().len());
         for (id, _) in midas.db().iter() {
             let cid = midas.clusters().cluster_of(id).expect("graph clustered");
-            assert!(midas.clusters().get(cid).expect("live").members().contains(&id));
+            assert!(midas
+                .clusters()
+                .get(cid)
+                .expect("live")
+                .members()
+                .contains(&id));
         }
         // CSG members mirror cluster members.
         for (_, cluster) in midas.clusters().iter() {
@@ -106,8 +123,18 @@ fn quality_guarantees_on_major_modification() {
     let after = midas.quality();
     // sw3/sw4 guarantees translate into global diversity / cognitive-load
     // monotonicity regardless of the sample.
-    assert!(after.div >= before.div - 1e-9, "sw3: {} -> {}", before.div, after.div);
-    assert!(after.cog <= before.cog + 1e-9, "sw4: {} -> {}", before.cog, after.cog);
+    assert!(
+        after.div >= before.div - 1e-9,
+        "sw3: {} -> {}",
+        before.div,
+        after.div
+    );
+    assert!(
+        after.cog <= before.cog + 1e-9,
+        "sw4: {} -> {}",
+        before.cog,
+        after.cog
+    );
     // γ is preserved through swapping.
     assert_eq!(midas.patterns().len(), before_len_or(&midas));
 }

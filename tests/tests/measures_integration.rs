@@ -11,7 +11,9 @@ use std::collections::BTreeSet;
 
 #[test]
 fn maintained_patterns_never_increase_steps_on_delta_queries() {
-    let db = DatasetSpec::new(DatasetKind::PubchemLike, 100, 11).generate().db;
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 100, 11)
+        .generate()
+        .db;
     let mut midas = Midas::bootstrap(db, test_config(11)).expect("non-empty");
     let stale = midas.patterns();
     let before: BTreeSet<GraphId> = midas.db().ids().collect();
@@ -31,7 +33,9 @@ fn maintained_patterns_never_increase_steps_on_delta_queries() {
 
 #[test]
 fn formulation_steps_bounded_by_edge_mode() {
-    let db = DatasetSpec::new(DatasetKind::AidsLike, 60, 12).generate().db;
+    let db = DatasetSpec::new(DatasetKind::AidsLike, 60, 12)
+        .generate()
+        .db;
     let midas = Midas::bootstrap(db, test_config(12)).expect("non-empty");
     let queries = midas_datagen::query_set(midas.db(), 25, (3, 12), 121);
     for q in &queries {
@@ -45,7 +49,9 @@ fn formulation_steps_bounded_by_edge_mode() {
 
 #[test]
 fn study_pipeline_end_to_end() {
-    let db = DatasetSpec::new(DatasetKind::EmolLike, 60, 13).generate().db;
+    let db = DatasetSpec::new(DatasetKind::EmolLike, 60, 13)
+        .generate()
+        .db;
     let mut midas = Midas::bootstrap(db, test_config(13)).expect("non-empty");
     midas.apply_batch(novel_family_batch(MotifKind::Thiol, 20, 131));
     let queries = midas_datagen::query_set(midas.db(), 15, (4, 10), 132);
@@ -64,7 +70,9 @@ fn study_pipeline_end_to_end() {
 #[test]
 fn mp_is_monotone_in_pattern_set() {
     // Adding patterns can only reduce the missed percentage.
-    let db = DatasetSpec::new(DatasetKind::PubchemLike, 50, 14).generate().db;
+    let db = DatasetSpec::new(DatasetKind::PubchemLike, 50, 14)
+        .generate()
+        .db;
     let midas = Midas::bootstrap(db, test_config(14)).expect("non-empty");
     let patterns = midas.patterns();
     let queries = midas_datagen::query_set(midas.db(), 20, (3, 8), 141);

@@ -24,7 +24,10 @@ fn lattice_snapshot(state: &FctState) -> Vec<(midas_mining::TreeKey, Vec<GraphId
 
 /// Snapshot restricted to the user threshold: frequent trees with exact
 /// supports (closed flags compared separately — see the deletion test).
-fn user_threshold_snapshot(state: &FctState, db_len: usize) -> Vec<(midas_mining::TreeKey, Vec<GraphId>)> {
+fn user_threshold_snapshot(
+    state: &FctState,
+    db_len: usize,
+) -> Vec<(midas_mining::TreeKey, Vec<GraphId>)> {
     state
         .frequent_trees(db_len)
         .into_iter()

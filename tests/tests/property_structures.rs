@@ -135,6 +135,7 @@ proptest! {
             db: &db,
             sample: &sample,
             catalog: &catalog,
+            kernel: None,
         };
         let before = midas_core::quality_of(&store.graphs(), &db, &catalog, &sample);
         multi_scan_swap(
@@ -185,6 +186,7 @@ proptest! {
             db: &db,
             sample: &sample,
             catalog: &catalog,
+            kernel: None,
         };
         multi_scan_swap(
             &mut store,

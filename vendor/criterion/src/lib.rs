@@ -1,0 +1,178 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is deliberately simple — a
+//! warm-up pass followed by `sample_size` timed samples, reporting min /
+//! median / mean — which is plenty for the relative comparisons the MIDAS
+//! perf trajectory tracks. Measured medians can be harvested
+//! programmatically through [`Criterion::take_results`].
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (accepted for API compatibility; every
+/// batch is one input here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// One bench's measured samples.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench id as passed to [`Criterion::bench_function`].
+    pub name: String,
+    /// Per-sample durations of one routine invocation.
+    pub samples: Vec<Duration>,
+}
+
+impl BenchResult {
+    /// Median sample duration.
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort_unstable();
+        s[s.len() / 2]
+    }
+
+    /// Mean sample duration.
+    pub fn mean(&self) -> Duration {
+        self.samples.iter().sum::<Duration>() / self.samples.len().max(1) as u32
+    }
+
+    /// Minimum sample duration.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().min().copied().unwrap_or_default()
+    }
+}
+
+/// The benchmark harness.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        }
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: self.effective_sample_size(),
+        };
+        f(&mut bencher);
+        let result = BenchResult {
+            name: name.to_owned(),
+            samples: if bencher.samples.is_empty() {
+                vec![Duration::ZERO]
+            } else {
+                bencher.samples
+            },
+        };
+        println!(
+            "bench {:<44} min {:>12?} median {:>12?} mean {:>12?} ({} samples)",
+            result.name,
+            result.min(),
+            result.median(),
+            result.mean(),
+            result.samples.len()
+        );
+        self.results.push(result);
+        self
+    }
+
+    /// Drains the results collected so far (for JSON reports).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+
+    /// Criterion API shim: final reporting happens per-bench already.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per invocation, after one warm-up call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        std::hint::black_box(routine());
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.target_samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_shuffle`, range and tuple strategies, [`collection::vec`],
+//! [`num`]'s `ANY` constants, a deterministic [`test_runner::TestRunner`],
+//! and the [`proptest!`] / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! (fully deterministic runs), and failing cases are reported without
+//! shrinking — the failing inputs are printed verbatim instead. For the
+//! small structured inputs these tests draw, that trade keeps the
+//! implementation dependency-free without hurting debuggability much.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy, ValueTree};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRunner};
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// A size specification: an exact count or a range of counts.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A `Vec` strategy with the given element strategy and size range.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+            let n = runner.uniform_usize(self.size.min, self.size.max);
+            (0..n).map(|_| self.element.generate(runner)).collect()
+        }
+    }
+}
+
+/// Numeric `ANY` strategies (`proptest::num::usize::ANY` etc.).
+pub mod num {
+    macro_rules! any_mod {
+        ($($m:ident => $t:ty),*) => {$(
+            /// `ANY` strategy for the corresponding integer type.
+            pub mod $m {
+                use crate::strategy::Strategy;
+                use crate::test_runner::TestRunner;
+
+                /// Strategy over every value of the type.
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// Draws any value of the type.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, runner: &mut TestRunner) -> $t {
+                        runner.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+    any_mod!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+             i32 => i32, i64 => i64);
+}
+
+/// One-stop imports for test files.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy, ValueTree};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// inputs are reported and the test panics.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$a, &$b);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    // Internal `@fns` muncher arms must come first: the public entry arm
+    // below matches any token stream, including `@fns ...` recursions.
+    (@fns ($config:expr)) => {};
+    (
+        @fns ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            use $crate::Strategy as _;
+            let config: $crate::ProptestConfig = $config;
+            let mut runner = $crate::TestRunner::new_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut accepted: u32 = 0;
+            let mut rejected: u32 = 0;
+            while accepted < config.cases {
+                if rejected > config.cases * 16 + 256 {
+                    panic!(
+                        "proptest {}: too many rejected cases ({} accepted)",
+                        stringify!($name),
+                        accepted
+                    );
+                }
+                $(let $arg = ($strat).generate(&mut runner);)*
+                let case_debug = format!(
+                    concat!($("\n  ", stringify!($arg), " = {:?}",)*),
+                    $(&$arg,)*
+                );
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => accepted += 1,
+                    Err($crate::TestCaseError::Reject) => rejected += 1,
+                    Err($crate::TestCaseError::Fail(msg)) => panic!(
+                        "proptest {} failed after {} passing case(s): {}\ninputs:{}",
+                        stringify!($name),
+                        accepted,
+                        msg,
+                        case_debug
+                    ),
+                }
+            }
+        }
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@fns ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,190 @@
+//! The [`Strategy`] trait and its combinators.
+
+use crate::test_runner::TestRunner;
+use std::fmt::Debug;
+
+/// A generated value plus (vestigial) shrinking hooks.
+///
+/// This stand-in does not shrink: `simplify`/`complicate` always return
+/// `false` and [`ValueTree::current`] returns the generated value.
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+    /// The current value.
+    fn current(&self) -> Self::Value;
+    /// Attempts to simplify; never succeeds here.
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    /// Attempts to complicate; never succeeds here.
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// A trivial value tree holding one concrete value.
+#[derive(Debug, Clone)]
+pub struct TrivialTree<T>(pub T);
+
+impl<T: Clone> ValueTree for TrivialTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Generates values of `Self::Value` from a [`TestRunner`].
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Produces a value tree (proptest-compatible entry point).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<TrivialTree<Self::Value>, String> {
+        Ok(TrivialTree(self.generate(runner)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Shuffles the generated `Vec` uniformly.
+    fn prop_shuffle<T>(self) -> Shuffle<Self>
+    where
+        Self: Sized + Strategy<Value = Vec<T>>,
+        T: Clone + Debug,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// Strategy always yielding a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, runner: &mut TestRunner) -> U {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S2::Value {
+        (self.f)(self.inner.generate(runner)).generate(runner)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+#[derive(Debug, Clone)]
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S, T> Strategy for Shuffle<S>
+where
+    S: Strategy<Value = Vec<T>>,
+    T: Clone + Debug,
+{
+    type Value = Vec<T>;
+    fn generate(&self, runner: &mut TestRunner) -> Vec<T> {
+        let mut v = self.inner.generate(runner);
+        for i in (1..v.len()).rev() {
+            let j = runner.uniform_usize(0, i);
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                self.start.wrapping_add((runner.next_u64() as u128 % span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add((runner.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
