@@ -26,7 +26,7 @@ fn main() {
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {}: {e}", path.display()));
         if !status.success() {
-            eprintln!("{bin} exited with {status}");
+            midas_obs::obs_error!("bench::exp_all", "{bin} exited with {status}");
             std::process::exit(1);
         }
     }

@@ -147,6 +147,13 @@ pub fn select_patterns(
         csgs[source].penalize(&chosen, config.mwu_penalty);
         patterns.push(chosen);
     }
+    midas_obs::obs_info!(
+        "catapult::select",
+        "selected {} of γ = {} patterns from {} clusters",
+        patterns.len(),
+        config.budget.gamma,
+        clusters.len()
+    );
     patterns
 }
 

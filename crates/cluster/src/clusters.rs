@@ -342,6 +342,13 @@ impl ClusterSet {
             self.config.max_cluster_size,
             self.config.mccs_budget,
         );
+        midas_obs::obs_debug!(
+            "cluster::clusters",
+            "fine-clustered oversized cluster of {} members into {} groups",
+            members.len(),
+            groups.len()
+        );
+        midas_obs::counter_add!("cluster.splits", 1);
         let csgs = build_csgs_parallel(db, &groups);
         groups
             .into_iter()

@@ -2,6 +2,7 @@
 
 use midas_catapult::PatternBudget;
 use midas_mining::MiningConfig;
+use midas_obs::TelemetryConfig;
 
 /// All tunables of the MIDAS framework, defaulting to the paper's settings
 /// (§7.1): `η_min = 3`, `η_max = 12`, `γ = 30`, `sup_min = 0.5`, `ε = 0.1`,
@@ -48,6 +49,10 @@ pub struct MidasConfig {
     pub threads: usize,
     /// Master RNG seed; every stochastic component derives from it.
     pub seed: u64,
+    /// Telemetry knobs (spans, counters, trace export, log level).
+    /// [`crate::Midas::bootstrap`] applies this after folding in the
+    /// `MIDAS_TELEMETRY`/`MIDAS_TRACE_OUT`/`MIDAS_LOG` env overrides.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for MidasConfig {
@@ -70,6 +75,7 @@ impl Default for MidasConfig {
             small_pattern_slots: 0,
             threads: 0,
             seed: 0,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }

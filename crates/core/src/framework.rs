@@ -15,6 +15,13 @@
 //!
 //! Every phase is timed; the report exposes PMT (total) and PGT
 //! (candidate generation + swapping), the quantities §7 plots.
+//!
+//! When telemetry is enabled (`MidasConfig::telemetry`, or the
+//! `MIDAS_TELEMETRY` environment variable — see `midas-obs`), each phase
+//! additionally runs under a span (`batch.ingest`, `batch.fct`,
+//! `batch.cluster`, `batch.index`, `batch.classify`, `batch.candidates`,
+//! `batch.swap`), the batch records `pmt_us`/`pgt_us` counters, and the
+//! report carries a [`MetricsSnapshot`] delta scoped to just that batch.
 
 use crate::candidate_gen::{coverage_state, generate_promising_candidates, GenerationParams};
 use crate::config::MidasConfig;
@@ -30,6 +37,7 @@ use midas_graph::{BatchUpdate, GraphDb, GraphId, LabeledGraph, MatchKernel};
 use midas_index::{FctIndex, IfeIndex, PatternId};
 use midas_mining::incremental::FctState;
 use midas_mining::TreeKey;
+use midas_obs::{MetricsSnapshot, TelemetryConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeSet;
@@ -68,6 +76,10 @@ pub struct MaintenanceReport {
     pub candidates_generated: usize,
     /// Number of swaps performed.
     pub swaps: usize,
+    /// Metrics delta scoped to this batch (empty when telemetry is off):
+    /// phase spans, `pmt_us`/`pgt_us`, VF2 and cache counters, exec
+    /// fan-out accounting.
+    pub telemetry: MetricsSnapshot,
 }
 
 impl MaintenanceReport {
@@ -98,10 +110,13 @@ impl Midas {
     /// the initial pattern set, and builds both indices.
     ///
     /// Returns `Err` only if the database is empty.
-    pub fn bootstrap(db: GraphDb, config: MidasConfig) -> Result<Self, String> {
+    pub fn bootstrap(db: GraphDb, mut config: MidasConfig) -> Result<Self, String> {
         if db.is_empty() {
             return Err("cannot bootstrap MIDAS on an empty database".into());
         }
+        config.telemetry = config.telemetry.from_env();
+        config.telemetry.activate();
+        let _span = midas_obs::span!("bootstrap");
         let fct_state = FctState::build(&db, config.mining());
         let space = FeatureSpace::from_fct(&fct_state.lattice, config.sup_min, db.len());
         let clusters = ClusterSet::build(&db, &fct_state.lattice, space, config.clustering());
@@ -222,7 +237,16 @@ impl Midas {
         strategy: SwapStrategy,
     ) -> MaintenanceReport {
         let total_start = Instant::now();
+        let telemetry_on = midas_obs::enabled();
+        let baseline = if telemetry_on {
+            MetricsSnapshot::capture()
+        } else {
+            MetricsSnapshot::default()
+        };
         self.batch_counter += 1;
+
+        // Ingest: apply ΔD and keep the graphlet monitor current.
+        let ingest_span = midas_obs::span!("batch.ingest");
         let psi_before = self.monitor.distribution();
 
         // Capture Δ⁻ graphs before they leave the database.
@@ -232,6 +256,8 @@ impl Midas {
             .filter_map(|&id| self.db.get(id).map(|g| (id, g.clone())))
             .collect();
         let (inserted, deleted_ids) = self.db.apply(update);
+        midas_obs::counter_add!("batch.inserted", inserted.len() as u64);
+        midas_obs::counter_add!("batch.deleted", deleted_ids.len() as u64);
 
         // Graphlet monitor (lines 3–4).
         for &id in &deleted_ids {
@@ -242,8 +268,10 @@ impl Midas {
                 .add_graph(id, self.db.get(id).expect("inserted id"));
         }
         let psi_after = self.monitor.distribution();
+        drop(ingest_span);
 
         // FCT maintenance (line 5).
+        let fct_span = midas_obs::span!("batch.fct");
         let fct_start = Instant::now();
         let deleted_refs: Vec<(GraphId, &LabeledGraph)> = deleted_graphs
             .iter()
@@ -252,8 +280,10 @@ impl Midas {
         self.fct_state
             .apply_batch(&self.db, &inserted, &deleted_refs);
         let fct_time = fct_start.elapsed();
+        drop(fct_span);
 
         // Cluster + CSG maintenance (lines 1–2, 6–7).
+        let cluster_span = midas_obs::span!("batch.cluster");
         let cluster_start = Instant::now();
         for (id, g) in &deleted_graphs {
             self.clusters.remove(*id, g);
@@ -264,21 +294,33 @@ impl Midas {
                 .assign(&self.db, &self.fct_state.lattice, id, &graph);
         }
         let clustering_time = cluster_start.elapsed();
+        drop(cluster_span);
 
         // Index maintenance (line 12 — we keep indices fresh every batch so
         // minor modifications leave them consistent too).
+        let index_span = midas_obs::span!("batch.index");
         let index_start = Instant::now();
         self.maintain_indices(&inserted, &deleted_ids);
         let index_time = index_start.elapsed();
+        drop(index_span);
 
         // Classification (line 8).
+        let classify_span = midas_obs::span!("batch.classify");
         let (kind, distance) = classify(&psi_before, &psi_after, self.config.epsilon);
+        drop(classify_span);
+        midas_obs::obs_info!(
+            "core::framework",
+            "batch {}: {kind:?} modification, drift {distance:.6} (ε = {})",
+            self.batch_counter,
+            self.config.epsilon
+        );
         let mut candidate_time = Duration::ZERO;
         let mut swap_time = Duration::ZERO;
         let mut candidates_generated = 0;
         let mut swaps = 0;
         if kind == Modification::Major && !self.patterns.is_empty() {
             // Candidate generation from dirty CSGs (§5, lines 9–10).
+            let candidates_span = midas_obs::span!("batch.candidates");
             let cand_start = Instant::now();
             let dirty = self.clusters.take_dirty();
             let sample = self.sample();
@@ -319,8 +361,11 @@ impl Midas {
             );
             candidates_generated = candidates.len();
             candidate_time = cand_start.elapsed();
+            drop(candidates_span);
+            midas_obs::counter_add!("batch.candidates_generated", candidates_generated as u64);
 
             // Swapping (§6).
+            let swap_span = midas_obs::span!("batch.swap");
             let swap_start = Instant::now();
             swaps = match strategy {
                 SwapStrategy::MultiScan => {
@@ -342,11 +387,43 @@ impl Midas {
                 SwapStrategy::Random => self.random_swap(candidates, &mut rng),
             };
             swap_time = swap_start.elapsed();
+            drop(swap_span);
+            midas_obs::counter_add!("batch.swaps", swaps as u64);
+            midas_obs::obs_info!(
+                "core::framework",
+                "batch {}: {candidates_generated} candidates, {swaps} swaps",
+                self.batch_counter
+            );
         }
         // On a minor modification the dirty flags are deliberately *kept*:
         // clusters stay marked as modified until the next major round
         // consumes them, so candidate generation sees every cluster that
         // changed since patterns were last maintained (§4.3, §5).
+
+        let pattern_maintenance_time = total_start.elapsed();
+        midas_obs::counter_add!("pmt_us", pattern_maintenance_time.as_micros() as u64);
+        midas_obs::counter_add!("pgt_us", (candidate_time + swap_time).as_micros() as u64);
+        let telemetry = if telemetry_on {
+            let snap = MetricsSnapshot::capture().since(&baseline);
+            if midas_obs::tracing_enabled() {
+                let path = TelemetryConfig::trace_path();
+                match midas_obs::trace::write_trace(&path) {
+                    Ok(n) => midas_obs::obs_debug!(
+                        "core::framework",
+                        "wrote {n} trace events to {}",
+                        path.display()
+                    ),
+                    Err(e) => midas_obs::obs_warn!(
+                        "core::framework",
+                        "failed to write trace to {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
+            snap
+        } else {
+            MetricsSnapshot::default()
+        };
 
         MaintenanceReport {
             kind: match kind {
@@ -354,7 +431,7 @@ impl Midas {
                 Modification::Minor => ModificationKind::Minor,
             },
             distance,
-            pattern_maintenance_time: total_start.elapsed(),
+            pattern_maintenance_time,
             clustering_time,
             fct_time,
             index_time,
@@ -362,6 +439,7 @@ impl Midas {
             swap_time,
             candidates_generated,
             swaps,
+            telemetry,
         }
     }
 
@@ -649,6 +727,18 @@ mod tests {
         // Disabled by default.
         let plain = Midas::bootstrap(seed_db(), config()).unwrap();
         assert!(plain.small_patterns().is_empty());
+    }
+
+    // Enabled-telemetry behavior (phase spans, pmt_us, snapshot deltas) is
+    // exercised in the `midas-tests` integration binary: the enable flag is
+    // process-global, and unit tests here bootstrap concurrently with
+    // default (disabled) configs, which would race with it.
+
+    #[test]
+    fn telemetry_disabled_report_is_empty() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let report = midas.apply_batch(BatchUpdate::insert_only(vec![path(&[0, 1, 2])]));
+        assert!(report.telemetry.is_empty());
     }
 
     #[test]

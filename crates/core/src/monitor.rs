@@ -74,6 +74,9 @@ pub enum Modification {
 }
 
 /// Classifies a modification given the pre/post distributions.
+///
+/// With telemetry enabled, exposes the drift as the `monitor.drift` gauge
+/// and counts classifications in `monitor.major`/`monitor.minor`.
 pub fn classify(
     before: &GraphletDistribution,
     after: &GraphletDistribution,
@@ -85,6 +88,11 @@ pub fn classify(
     } else {
         Modification::Minor
     };
+    midas_obs::gauge_set!("monitor.drift", distance);
+    match kind {
+        Modification::Major => midas_obs::counter_add!("monitor.major", 1),
+        Modification::Minor => midas_obs::counter_add!("monitor.minor", 1),
+    }
     (kind, distance)
 }
 
@@ -181,5 +189,31 @@ mod tests {
         let (kind, d) = classify(&a, &b, 0.0);
         assert_eq!(d, 0.0);
         assert_eq!(kind, Modification::Major, "d >= ε with ε = 0");
+    }
+
+    #[test]
+    fn epsilon_boundary_cases() {
+        // Two genuinely different distributions, so the drift is nonzero
+        // and we can place ε exactly on, just above, and just below it.
+        let before = GraphletMonitor::build(&GraphDb::from_graphs([path(5), path(5)]));
+        let after = GraphletMonitor::build(&GraphDb::from_graphs([path(5), clique4()]));
+        let (a, b) = (before.distribution(), after.distribution());
+        let d = a.euclidean_distance(&b);
+        assert!(d > 1e-6, "test needs real drift, got {d}");
+
+        // ε == d: inclusive threshold classifies Major.
+        let (kind, reported) = classify(&a, &b, d);
+        assert_eq!(reported, d);
+        assert_eq!(kind, Modification::Major, "d == ε is Major");
+
+        // ε just above d: Minor.
+        let eps_above = d * (1.0 + 1e-12);
+        assert!(eps_above > d);
+        assert_eq!(classify(&a, &b, eps_above).0, Modification::Minor);
+
+        // ε just below d: Major.
+        let eps_below = d * (1.0 - 1e-12);
+        assert!(eps_below < d);
+        assert_eq!(classify(&a, &b, eps_below).0, Modification::Major);
     }
 }

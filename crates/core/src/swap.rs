@@ -143,6 +143,7 @@ pub fn multi_scan_swap_weighted(
     let mut sigma = 0.25f64;
     let mut kappa = params.kappa;
     loop {
+        let _scan_span = midas_obs::span!("batch.swap.scan");
         outcome.scans += 1;
         // Rank candidates by s' descending against the current set.
         let current = store.graphs();

@@ -37,7 +37,7 @@ use crate::canonical::{canonical_code, CanonicalCode};
 use crate::db::GraphId;
 use crate::graph::LabeledGraph;
 use crate::isomorphism::{count_embeddings, GraphSignature};
-use std::collections::HashMap;
+use std::collections::{hash_map, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -111,13 +111,44 @@ struct GraphEntry {
     counts: HashMap<CanonicalCode, StoredCount>,
 }
 
-/// Hit/miss counters, for tests and bench reporting.
+/// Cache accounting, for tests, bench reporting and telemetry snapshots.
+///
+/// The same four event streams also feed the global `midas-obs` counters
+/// `cache.hits` / `cache.misses` / `cache.insertions` /
+/// `cache.invalidations` when telemetry is enabled.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Requests answered from a stored entry (including prefilter zeros).
     pub hits: u64,
-    /// Requests that ran a VF2 search.
+    /// Requests that ran a VF2 search (or were rejected by the prefilter).
     pub misses: u64,
+    /// Fresh `(pattern, graph)` entries stored (cap upgrades of an existing
+    /// entry do not count).
+    pub insertions: u64,
+    /// Graphs whose memoized entries were dropped by
+    /// [`EmbeddingCache::invalidate_graph`] / [`EmbeddingCache::clear`]
+    /// (only graphs that actually had an entry count).
+    pub invalidations: u64,
+    /// Invalidation epoch: bumped on **every** [`invalidate_graph`] /
+    /// [`clear`] call, whether or not anything was stored. Readers can
+    /// compare generations to detect that answers may have changed.
+    ///
+    /// [`invalidate_graph`]: EmbeddingCache::invalidate_graph
+    /// [`clear`]: EmbeddingCache::clear
+    pub generation: u64,
+}
+
+impl CacheStats {
+    /// Fraction of requests served from the memo, in `[0, 1]` (0 when no
+    /// requests were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A sharded, thread-safe memo of capped embedding counts.
@@ -129,6 +160,9 @@ pub struct EmbeddingCache {
     shards: Vec<RwLock<HashMap<GraphId, GraphEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    insertions: AtomicU64,
+    invalidations: AtomicU64,
+    generation: AtomicU64,
 }
 
 impl Default for EmbeddingCache {
@@ -144,7 +178,30 @@ impl EmbeddingCache {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         }
+    }
+
+    fn record_hits(&self, n: u64) {
+        self.hits.fetch_add(n, Ordering::Relaxed);
+        midas_obs::counter_add!("cache.hits", n);
+    }
+
+    fn record_misses(&self, n: u64) {
+        self.misses.fetch_add(n, Ordering::Relaxed);
+        midas_obs::counter_add!("cache.misses", n);
+    }
+
+    fn record_insertions(&self, n: u64) {
+        self.insertions.fetch_add(n, Ordering::Relaxed);
+        midas_obs::counter_add!("cache.insertions", n);
+    }
+
+    fn record_invalidations(&self, n: u64) {
+        self.invalidations.fetch_add(n, Ordering::Relaxed);
+        midas_obs::counter_add!("cache.invalidations", n);
     }
 
     fn shard(&self, id: GraphId) -> &RwLock<HashMap<GraphId, GraphEntry>> {
@@ -170,7 +227,7 @@ impl EmbeddingCache {
             if let Some(entry) = shard.get(&id) {
                 if let Some(stored) = entry.counts.get(&pattern.key) {
                     if let Some(answer) = stored.serve(cap) {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.record_hits(1);
                         return answer;
                     }
                 }
@@ -180,6 +237,7 @@ impl EmbeddingCache {
         let target_sig = target_sig.unwrap_or_else(|| Arc::new(GraphSignature::of(target)));
         let stored = if !pattern.sig.may_embed_in(&target_sig) {
             // Prefilter proof of zero: exact at any cap.
+            midas_obs::counter_add!("vf2.prefilter_rejects", 1);
             StoredCount {
                 cap: u64::MAX,
                 count: 0,
@@ -190,14 +248,21 @@ impl EmbeddingCache {
                 count: count_embeddings(&pattern.graph, target, cap),
             }
         };
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.record_misses(1);
         let mut shard = self.shard(id).write().expect("cache lock");
         let entry = shard.entry(id).or_default();
         entry.sig.get_or_insert(target_sig);
         // Keep whichever of the racing computations knows more.
-        let slot = entry.counts.entry(pattern.key.clone()).or_insert(stored);
-        if stored.cap > slot.cap {
-            *slot = stored;
+        match entry.counts.entry(pattern.key.clone()) {
+            hash_map::Entry::Vacant(slot) => {
+                slot.insert(stored);
+                self.record_insertions(1);
+            }
+            hash_map::Entry::Occupied(mut slot) => {
+                if stored.cap > slot.get().cap {
+                    *slot.get_mut() = stored;
+                }
+            }
         }
         stored.serve(cap).expect("fresh entry serves its own cap")
     }
@@ -237,7 +302,7 @@ impl EmbeddingCache {
             }
         }
         if hits > 0 {
-            self.hits.fetch_add(hits, Ordering::Relaxed);
+            self.record_hits(hits);
         }
         if out.iter().all(Option::is_some) {
             return out.into_iter().map(|s| s.expect("checked")).collect();
@@ -249,6 +314,7 @@ impl EmbeddingCache {
                 continue;
             }
             let stored = if !p.sig.may_embed_in(&target_sig) {
+                midas_obs::counter_add!("vf2.prefilter_rejects", 1);
                 StoredCount {
                     cap: u64::MAX,
                     count: 0,
@@ -262,18 +328,26 @@ impl EmbeddingCache {
             out[i] = Some(stored.serve(cap).expect("fresh entry serves its own cap"));
             fresh.push((i, stored));
         }
-        self.misses.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        self.record_misses(fresh.len() as u64);
         let mut shard = self.shard(id).write().expect("cache lock");
         let entry = shard.entry(id).or_default();
         entry.sig.get_or_insert(target_sig);
+        let mut inserted = 0u64;
         for (i, stored) in fresh {
-            let slot = entry
-                .counts
-                .entry(patterns[i].key.clone())
-                .or_insert(stored);
-            if stored.cap > slot.cap {
-                *slot = stored;
+            match entry.counts.entry(patterns[i].key.clone()) {
+                hash_map::Entry::Vacant(slot) => {
+                    slot.insert(stored);
+                    inserted += 1;
+                }
+                hash_map::Entry::Occupied(mut slot) => {
+                    if stored.cap > slot.get().cap {
+                        *slot.get_mut() = stored;
+                    }
+                }
             }
+        }
+        if inserted > 0 {
+            self.record_insertions(inserted);
         }
         out.into_iter().map(|s| s.expect("filled")).collect()
     }
@@ -284,15 +358,28 @@ impl EmbeddingCache {
     }
 
     /// Drops everything memoized about `id`. Call for every graph a batch
-    /// inserts or deletes.
+    /// inserts or deletes. Always bumps the generation; counts an
+    /// invalidation only when an entry was actually dropped.
     pub fn invalidate_graph(&self, id: GraphId) {
-        self.shard(id).write().expect("cache lock").remove(&id);
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        let dropped = self.shard(id).write().expect("cache lock").remove(&id);
+        if dropped.is_some() {
+            self.record_invalidations(1);
+        }
     }
 
-    /// Drops the entire memo.
+    /// Drops the entire memo (one generation bump, one invalidation per
+    /// graph that had an entry).
     pub fn clear(&self) {
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        let mut dropped = 0u64;
         for shard in &self.shards {
-            shard.write().expect("cache lock").clear();
+            let mut shard = shard.write().expect("cache lock");
+            dropped += shard.len() as u64;
+            shard.clear();
+        }
+        if dropped > 0 {
+            self.record_invalidations(dropped);
         }
     }
 
@@ -304,20 +391,33 @@ impl EmbeddingCache {
             .sum()
     }
 
-    /// Hit/miss counters since construction (or the last [`reset_stats`]).
+    /// Accounting since construction (or the last [`reset_stats`]). The
+    /// generation is never reset — it tracks invalidation epochs, not
+    /// workload accounting.
     ///
     /// [`reset_stats`]: EmbeddingCache::reset_stats
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Relaxed),
         }
     }
 
-    /// Zeroes the hit/miss counters (the memo itself is untouched).
+    /// The current invalidation epoch (see [`CacheStats::generation`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the accounting counters (the memo itself and the generation
+    /// are untouched).
     pub fn reset_stats(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.insertions.store(0, Ordering::Relaxed);
+        self.invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -349,7 +449,16 @@ mod tests {
         assert_eq!(cache.count_embeddings(&p, id, &t, 64), 6);
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.count_embeddings(&p, id, &t, 64), 6);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                insertions: 1,
+                invalidations: 0,
+                generation: 0,
+            }
+        );
     }
 
     #[test]
@@ -370,7 +479,8 @@ mod tests {
         let first = cache.count_embeddings(&a, id, &t, 64);
         let second = cache.count_embeddings(&b, id, &t, 64);
         assert_eq!(first, second);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
     }
 
     #[test]
@@ -417,9 +527,72 @@ mod tests {
         // Graph 1 still served from memo; graph 0 recomputed.
         cache.reset_stats();
         cache.count_embeddings(&p, GraphId(1), &t, 64);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 0 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 0));
         cache.count_embeddings(&p, GraphId(0), &t, 64);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn hit_rate_accounting_across_insert_delete_cycle() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        assert_eq!(cache.stats().generation, 0);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+
+        // Warm two graphs (2 misses, 2 insertions), re-query both (2 hits).
+        for id in [GraphId(0), GraphId(1)] {
+            cache.count_embeddings(&p, id, &t, 64);
+        }
+        for id in [GraphId(0), GraphId(1)] {
+            cache.count_embeddings(&p, id, &t, 64);
+        }
+        let warm = cache.stats();
+        assert_eq!((warm.hits, warm.misses, warm.insertions), (2, 2, 2));
+        assert_eq!(warm.hit_rate(), 0.5);
+
+        // "Delete" graph 0 and "insert" graph 2: the batch contract calls
+        // invalidate_graph for both ids. Only graph 0 had an entry, so one
+        // invalidation counts, but the generation moves on every call.
+        cache.invalidate_graph(GraphId(0));
+        cache.invalidate_graph(GraphId(2));
+        let after = cache.stats();
+        assert_eq!(after.invalidations, 1);
+        assert_eq!(after.generation, warm.generation + 2);
+
+        // Post-cycle queries: graph 1 survives (hit), graphs 0 and 2 are
+        // recomputed and re-inserted (misses + insertions).
+        for id in [GraphId(0), GraphId(1), GraphId(2)] {
+            cache.count_embeddings(&p, id, &t, 64);
+        }
+        let end = cache.stats();
+        assert_eq!((end.hits, end.misses, end.insertions), (3, 4, 4));
+        assert_eq!(end.hit_rate(), 3.0 / 7.0);
+
+        // reset_stats zeroes accounting but preserves the epoch.
+        cache.reset_stats();
+        let reset = cache.stats();
+        assert_eq!((reset.hits, reset.misses), (0, 0));
+        assert_eq!((reset.insertions, reset.invalidations), (0, 0));
+        assert_eq!(reset.generation, end.generation);
+    }
+
+    #[test]
+    fn clear_counts_every_stored_graph() {
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        for id in 0..3 {
+            cache.count_embeddings(&p, GraphId(id), &t, 64);
+        }
+        let gen_before = cache.generation();
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 3);
+        assert_eq!(stats.generation, gen_before + 1);
+        assert_eq!(cache.cached_graphs(), 0);
     }
 
     #[test]

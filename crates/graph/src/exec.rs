@@ -16,6 +16,11 @@
 //! noise, and scoped threads let closures borrow the database and indices
 //! without `Arc` gymnastics.
 //!
+//! When telemetry is enabled (see `midas-obs`), every parallel fan-out
+//! bumps `exec.fanouts`/`exec.tasks`, and each worker runs under an
+//! `exec.worker` span, so per-thread busy time shows up in span statistics
+//! and as one lane per worker in the Chrome trace.
+//!
 //! # Thread-count selection
 //!
 //! [`thread_count`] resolves, in order: an explicit override (> 0), the
@@ -74,6 +79,8 @@ where
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
     }
+    midas_obs::counter_add!("exec.fanouts", 1);
+    midas_obs::counter_add!("exec.tasks", items.len() as u64);
     let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
     out.resize_with(items.len(), || None);
     let chunk_len = items.len().div_ceil(threads);
@@ -85,6 +92,7 @@ where
         {
             let f = &f;
             scope.spawn(move || {
+                let _busy = midas_obs::span!("exec.worker");
                 let base = chunk_idx * chunk_len;
                 for (offset, (item, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
                     *slot = Some(f(base + offset, item));
@@ -114,6 +122,8 @@ where
         }
         return vec![f(0, items)];
     }
+    midas_obs::counter_add!("exec.fanouts", 1);
+    midas_obs::counter_add!("exec.tasks", items.len() as u64);
     let chunk_len = items.len().div_ceil(threads);
     let mut out: Vec<Option<U>> = Vec::new();
     out.resize_with(items.len().div_ceil(chunk_len), || None);
@@ -121,6 +131,7 @@ where
         for (chunk_idx, (chunk, slot)) in items.chunks(chunk_len).zip(out.iter_mut()).enumerate() {
             let f = &f;
             scope.spawn(move || {
+                let _busy = midas_obs::span!("exec.worker");
                 *slot = Some(f(chunk_idx * chunk_len, chunk));
             });
         }

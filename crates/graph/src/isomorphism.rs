@@ -225,17 +225,33 @@ where
         return;
     }
     if pn > target.vertex_count() || pattern.edge_count() > target.edge_count() {
+        midas_obs::counter_add!("vf2.size_rejects", 1);
         return;
     }
     if !GraphSignature::of(pattern).may_embed_in(&GraphSignature::of(target)) {
+        midas_obs::counter_add!("vf2.prefilter_rejects", 1);
         return;
     }
     let order = matching_order(pattern);
     let mut mapping = vec![u32::MAX; pn]; // pattern -> target
     let mut used = vec![false; target.vertex_count()];
-    backtrack(pattern, target, &order, 0, &mut mapping, &mut used, visit);
+    let mut nodes = 0u64;
+    backtrack(
+        pattern,
+        target,
+        &order,
+        0,
+        &mut mapping,
+        &mut used,
+        &mut nodes,
+        visit,
+    );
+    midas_obs::counter_add!("vf2.searches", 1);
+    midas_obs::counter_add!("vf2.nodes", nodes);
+    midas_obs::histogram_record!("vf2.nodes_per_search", nodes);
 }
 
+#[allow(clippy::too_many_arguments)]
 fn backtrack<F>(
     pattern: &LabeledGraph,
     target: &LabeledGraph,
@@ -243,11 +259,13 @@ fn backtrack<F>(
     depth: usize,
     mapping: &mut [u32],
     used: &mut [bool],
+    nodes: &mut u64,
     visit: &mut F,
 ) -> Control
 where
     F: FnMut(&[VertexId]) -> Control,
 {
+    *nodes += 1;
     if depth == order.len() {
         return visit(mapping);
     }
@@ -256,7 +274,12 @@ where
     let pdeg = pattern.degree(*pv);
 
     // Candidate targets: neighbors of an anchor image if anchored, else all.
-    let run = |cand: VertexId, mapping: &mut [u32], used: &mut [bool], visit: &mut F| -> Control {
+    let run = |cand: VertexId,
+               mapping: &mut [u32],
+               used: &mut [bool],
+               nodes: &mut u64,
+               visit: &mut F|
+     -> Control {
         if used[cand as usize] || target.label(cand) != plabel || target.degree(cand) < pdeg {
             return Control::Continue;
         }
@@ -269,7 +292,16 @@ where
         }
         mapping[*pv as usize] = cand;
         used[cand as usize] = true;
-        let ctl = backtrack(pattern, target, order, depth + 1, mapping, used, visit);
+        let ctl = backtrack(
+            pattern,
+            target,
+            order,
+            depth + 1,
+            mapping,
+            used,
+            nodes,
+            visit,
+        );
         mapping[*pv as usize] = u32::MAX;
         used[cand as usize] = false;
         ctl
@@ -280,13 +312,13 @@ where
         // Clone-free iteration: neighbors() borrows target immutably only.
         for i in 0..target.neighbors(image).len() {
             let cand = target.neighbors(image)[i];
-            if run(cand, mapping, used, visit) == Control::Stop {
+            if run(cand, mapping, used, nodes, visit) == Control::Stop {
                 return Control::Stop;
             }
         }
     } else {
         for cand in 0..target.vertex_count() as VertexId {
-            if run(cand, mapping, used, visit) == Control::Stop {
+            if run(cand, mapping, used, nodes, visit) == Control::Stop {
                 return Control::Stop;
             }
         }

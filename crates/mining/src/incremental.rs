@@ -88,6 +88,12 @@ impl FctState {
         let old_len = db_after.len() + deleted.len() - inserted.len();
         if !deleted.is_empty() && deleted.len() * 2 > old_len {
             // Lemma 4.5's premise is void: rebuild.
+            midas_obs::obs_debug!(
+                "mining::incremental",
+                "deletion batch ({} of {old_len}) voids the incremental premise: full FCT rebuild",
+                deleted.len()
+            );
+            midas_obs::counter_add!("fct.rebuilds", 1);
             *self = FctState::build(db_after, self.config);
             return;
         }

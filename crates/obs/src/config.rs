@@ -1,0 +1,132 @@
+//! Telemetry configuration embedded in `MidasConfig`.
+
+use crate::log::LogLevel;
+use std::path::PathBuf;
+
+/// Telemetry knobs carried by `MidasConfig` (the struct stays `Copy`, so
+/// paths live in environment variables, not here).
+///
+/// Environment overrides, applied by [`TelemetryConfig::from_env`]:
+///
+/// * `MIDAS_TELEMETRY` — `1|true|on` enables metrics **and** tracing,
+///   `0|false|off` disables both, unset leaves the config untouched;
+/// * `MIDAS_TRACE_OUT` — setting it enables tracing and names the
+///   `trace.json` output path (see [`TelemetryConfig::trace_path`]);
+/// * `MIDAS_LOG` — log level (see [`crate::log`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch for counters/gauges/histograms/span statistics.
+    pub enabled: bool,
+    /// Also collect Chrome-trace events and write `trace.json` after each
+    /// batch. Implies nothing unless [`Self::enabled`] is set.
+    pub trace: bool,
+    /// Log level for the [`crate::obs_warn!`]-family macros.
+    pub log: LogLevel,
+}
+
+impl Default for TelemetryConfig {
+    /// Disabled: probes cost one relaxed atomic load each.
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            trace: false,
+            log: LogLevel::Warn,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Metrics, tracing and info-level logging all on.
+    pub fn on() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            trace: true,
+            log: LogLevel::Info,
+        }
+    }
+
+    /// This config with the `MIDAS_TELEMETRY`/`MIDAS_TRACE_OUT`/`MIDAS_LOG`
+    /// environment overrides applied.
+    pub fn from_env(mut self) -> Self {
+        if let Ok(v) = std::env::var("MIDAS_TELEMETRY") {
+            if let Some(on) = parse_bool(&v) {
+                self.enabled = on;
+                self.trace = on;
+            }
+        }
+        if std::env::var_os("MIDAS_TRACE_OUT").is_some() {
+            self.trace = true;
+        }
+        if let Some(level) = std::env::var("MIDAS_LOG")
+            .ok()
+            .and_then(|s| LogLevel::parse(&s))
+        {
+            self.log = level;
+        }
+        self
+    }
+
+    /// Applies this config to the process-global switches
+    /// ([`crate::set_enabled`], [`crate::set_tracing`],
+    /// [`crate::log::set_log_level`]).
+    pub fn activate(&self) {
+        crate::set_enabled(self.enabled);
+        crate::set_tracing(self.enabled && self.trace);
+        crate::log::set_log_level(self.log);
+    }
+
+    /// Where `trace.json` goes: `MIDAS_TRACE_OUT` or `./trace.json`.
+    pub fn trace_path() -> PathBuf {
+        std::env::var_os("MIDAS_TRACE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("trace.json"))
+    }
+}
+
+/// Parses a boolean environment value. Unknown strings return `None`.
+pub fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled);
+        assert!(!c.trace);
+        assert_eq!(c.log, LogLevel::Warn);
+    }
+
+    #[test]
+    fn on_enables_everything() {
+        let c = TelemetryConfig::on();
+        assert!(c.enabled && c.trace);
+        assert_eq!(c.log, LogLevel::Info);
+    }
+
+    #[test]
+    fn parse_bool_spellings() {
+        assert_eq!(parse_bool("1"), Some(true));
+        assert_eq!(parse_bool(" ON "), Some(true));
+        assert_eq!(parse_bool("false"), Some(false));
+        assert_eq!(parse_bool("maybe"), None);
+    }
+
+    #[test]
+    fn activate_round_trips() {
+        let _g = crate::tests::exclusive();
+        TelemetryConfig::on().activate();
+        assert!(crate::enabled());
+        assert!(crate::tracing_enabled());
+        TelemetryConfig::default().activate();
+        assert!(!crate::enabled());
+        assert!(!crate::tracing_enabled());
+    }
+}

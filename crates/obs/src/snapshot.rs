@@ -1,0 +1,314 @@
+//! Point-in-time snapshots of the metrics registry, with delta arithmetic
+//! and a hand-rolled JSON exporter (`metrics.json`).
+
+use crate::json;
+use crate::registry::registry;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::time::Duration;
+
+/// Snapshot of one span statistic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStatSnapshot {
+    /// Completed spans.
+    pub count: u64,
+    /// Total time across completions, microseconds.
+    pub total_us: u64,
+    /// Longest single completion, microseconds.
+    pub max_us: u64,
+}
+
+impl SpanStatSnapshot {
+    /// Total as a [`Duration`].
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.total_us)
+    }
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Non-empty log₂ buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A point-in-time copy of every registered metric.
+///
+/// Captured with [`MetricsSnapshot::capture`]; two captures subtract with
+/// [`MetricsSnapshot::since`] to isolate one region of work (how
+/// `MaintenanceReport.telemetry` scopes a single batch). Serializes to the
+/// `metrics.json` schema via [`MetricsSnapshot::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name (last write wins; [`Self::since`] keeps the
+    /// newer value rather than subtracting).
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Span statistics by name.
+    pub spans: BTreeMap<String, SpanStatSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Captures the current value of every registered metric.
+    pub fn capture() -> Self {
+        let mut snap = MetricsSnapshot::default();
+        let reg = registry();
+        reg.for_each_counter(|name, c| {
+            snap.counters.insert(name.to_owned(), c.get());
+        });
+        reg.for_each_gauge(|name, g| {
+            snap.gauges.insert(name.to_owned(), g.get());
+        });
+        reg.for_each_histogram(|name, h| {
+            let (count, sum, max) = h.totals();
+            snap.histograms.insert(
+                name.to_owned(),
+                HistogramSnapshot {
+                    count,
+                    sum,
+                    max,
+                    buckets: h.buckets(),
+                },
+            );
+        });
+        reg.for_each_span(|name, s| {
+            let (count, total, max) = s.totals();
+            snap.spans.insert(
+                name.to_owned(),
+                SpanStatSnapshot {
+                    count,
+                    total_us: total.as_micros().min(u64::MAX as u128) as u64,
+                    max_us: max.as_micros().min(u64::MAX as u128) as u64,
+                },
+            );
+        });
+        snap
+    }
+
+    /// The delta `self − baseline`: counters and span count/total subtract
+    /// (saturating), gauges and maxima keep `self`'s value. Metrics absent
+    /// from `baseline` pass through unchanged; zero-delta entries are
+    /// dropped so a batch snapshot lists only what the batch touched.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for (name, &v) in &self.counters {
+            let d = v.saturating_sub(baseline.counters.get(name).copied().unwrap_or(0));
+            if d > 0 {
+                out.counters.insert(name.clone(), d);
+            }
+        }
+        out.gauges = self.gauges.clone();
+        for (name, h) in &self.histograms {
+            let base = baseline.histograms.get(name);
+            let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
+            if count == 0 {
+                continue;
+            }
+            let mut buckets: Vec<(u64, u64)> = Vec::new();
+            for &(upper, n) in &h.buckets {
+                let base_n = base
+                    .and_then(|b| b.buckets.iter().find(|(u, _)| *u == upper))
+                    .map_or(0, |(_, n)| *n);
+                let d = n.saturating_sub(base_n);
+                if d > 0 {
+                    buckets.push((upper, d));
+                }
+            }
+            out.histograms.insert(
+                name.clone(),
+                HistogramSnapshot {
+                    count,
+                    sum: h.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+                    max: h.max,
+                    buckets,
+                },
+            );
+        }
+        for (name, s) in &self.spans {
+            let base = baseline.spans.get(name);
+            let count = s.count.saturating_sub(base.map_or(0, |b| b.count));
+            if count == 0 {
+                continue;
+            }
+            out.spans.insert(
+                name.clone(),
+                SpanStatSnapshot {
+                    count,
+                    total_us: s.total_us.saturating_sub(base.map_or(0, |b| b.total_us)),
+                    max_us: s.max_us,
+                },
+            );
+        }
+        out
+    }
+
+    /// The named counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The named gauge's value (0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The named span statistic (zeroed when absent).
+    pub fn span(&self, name: &str) -> SpanStatSnapshot {
+        self.spans.get(name).copied().unwrap_or_default()
+    }
+
+    /// Sum of `total_us` over the named spans — e.g. the Algorithm-1 phase
+    /// roll-up compared against PMT.
+    pub fn span_total(&self, names: &[&str]) -> Duration {
+        Duration::from_micros(names.iter().map(|n| self.span(n).total_us).sum())
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as JSON (the `metrics.json` schema):
+    ///
+    /// ```json
+    /// {
+    ///   "counters": {"cache.hits": 10},
+    ///   "gauges": {"monitor.drift": 0.01},
+    ///   "histograms": {"vf2.nodes_per_search": {"count": 1, "sum": 7, "max": 7, "buckets": [[7, 1]]}},
+    ///   "spans": {"batch.fct": {"count": 1, "total_us": 42, "max_us": 42}}
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"counters\": {\n");
+        push_entries(&mut out, &self.counters, |v| v.to_string());
+        out.push_str("  },\n  \"gauges\": {\n");
+        push_entries(&mut out, &self.gauges, |v| json::number(*v));
+        out.push_str("  },\n  \"histograms\": {\n");
+        push_entries(&mut out, &self.histograms, |h| {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(upper, n)| format!("[{upper}, {n}]"))
+                .collect();
+            format!(
+                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
+                h.count,
+                h.sum,
+                h.max,
+                buckets.join(", ")
+            )
+        });
+        out.push_str("  },\n  \"spans\": {\n");
+        push_entries(&mut out, &self.spans, |s| {
+            format!(
+                "{{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
+                s.count, s.total_us, s.max_us
+            )
+        });
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes [`Self::to_json`] to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json().as_bytes())
+    }
+}
+
+fn push_entries<V>(out: &mut String, map: &BTreeMap<String, V>, render: impl Fn(&V) -> String) {
+    for (i, (name, v)) in map.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}: {}{}\n",
+            json::quote(name),
+            render(v),
+            if i + 1 < map.len() { "," } else { "" }
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::exclusive;
+
+    #[test]
+    fn snapshot_delta_isolates_a_region() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        crate::counter_add!("test.snap.delta", 10);
+        let base = MetricsSnapshot::capture();
+        crate::counter_add!("test.snap.delta", 7);
+        {
+            let _s = crate::span!("test.snap.span");
+        }
+        let delta = MetricsSnapshot::capture().since(&base);
+        crate::set_enabled(false);
+        assert_eq!(delta.counter("test.snap.delta"), 7);
+        assert_eq!(delta.span("test.snap.span").count, 1);
+        // Untouched metrics do not appear in the delta.
+        assert!(!delta.counters.contains_key("test.lib.enabled"));
+    }
+
+    #[test]
+    fn json_round_trips_through_validator() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        crate::counter_add!("test.snap.json", 1);
+        crate::gauge_set!("test.snap.gauge", 0.25);
+        crate::histogram_record!("test.snap.hist", 9);
+        let snap = MetricsSnapshot::capture();
+        crate::set_enabled(false);
+        let doc = snap.to_json();
+        json::validate(&doc).expect("snapshot JSON validates");
+        assert!(doc.contains("\"test.snap.json\": 1"));
+        assert!(doc.contains("\"test.snap.gauge\": 0.25"));
+        assert!(doc.contains("\"buckets\": [[15, 1]]"));
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.is_empty());
+        json::validate(&snap.to_json()).expect("empty snapshot validates");
+    }
+
+    #[test]
+    fn span_total_sums_phases() {
+        let mut snap = MetricsSnapshot::default();
+        snap.spans.insert(
+            "a".into(),
+            SpanStatSnapshot {
+                count: 1,
+                total_us: 30,
+                max_us: 30,
+            },
+        );
+        snap.spans.insert(
+            "b".into(),
+            SpanStatSnapshot {
+                count: 2,
+                total_us: 70,
+                max_us: 50,
+            },
+        );
+        assert_eq!(
+            snap.span_total(&["a", "b", "missing"]),
+            Duration::from_micros(100)
+        );
+    }
+}

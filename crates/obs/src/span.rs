@@ -1,0 +1,145 @@
+//! RAII span timers with a per-thread span stack.
+//!
+//! A [`Span`] measures one named region of work. On `enter` (when metrics
+//! are enabled) it pushes its name onto the calling thread's span stack; on
+//! drop it pops, records the duration into the registry's span statistic of
+//! the same name, and — when tracing is on — appends a Chrome-trace
+//! complete event. Nesting therefore comes for free: a `batch.swap.scan`
+//! span opened while `batch.swap` is live renders inside it both in the
+//! snapshot (two named statistics) and in the trace (time containment on
+//! the same `tid`).
+
+use crate::registry::registry;
+use crate::trace;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The names of the spans currently open on this thread, outermost first.
+/// Mostly useful for debugging instrumentation; empty when telemetry is
+/// disabled.
+pub fn current_stack() -> Vec<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().clone())
+}
+
+/// Depth of the calling thread's span stack.
+pub fn current_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// An RAII guard timing one named region. Construct via
+/// [`crate::span!`] or [`Span::enter`]; inert (zero work on drop) when
+/// metrics were disabled at entry.
+#[derive(Debug)]
+#[must_use = "a span measures until dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span named `name`. When metrics are disabled this is one
+    /// relaxed atomic load and the guard does nothing on drop.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { active: None };
+        }
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            active: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// The span's name, if it is live.
+    pub fn name(&self) -> Option<&'static str> {
+        self.active.as_ref().map(|a| a.name)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur = active.start.elapsed();
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            // Pop our own frame. Overlapping (non-nested) guard lifetimes
+            // cannot corrupt other frames: we remove the deepest matching
+            // occurrence of our name only.
+            if let Some(pos) = stack.iter().rposition(|&n| n == active.name) {
+                stack.remove(pos);
+            }
+        });
+        registry().span(active.name).record(dur);
+        if crate::tracing_enabled() {
+            trace::push_complete_event(active.name, active.start, dur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::exclusive;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_duration_and_nests() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        registry().span("test.span.outer").record(Duration::ZERO); // register
+        {
+            let outer = Span::enter("test.span.outer");
+            assert_eq!(outer.name(), Some("test.span.outer"));
+            assert_eq!(current_stack(), vec!["test.span.outer"]);
+            {
+                let _inner = Span::enter("test.span.inner");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        crate::set_enabled(false);
+        assert_eq!(current_depth(), 0);
+        let (count, total, _) = registry().span("test.span.inner").totals();
+        assert!(count >= 1);
+        assert!(total >= Duration::ZERO);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let _g = exclusive();
+        crate::set_enabled(false);
+        let s = Span::enter("test.span.disabled");
+        assert_eq!(s.name(), None);
+        assert_eq!(current_depth(), 0);
+        drop(s);
+        let (count, _, _) = registry().span("test.span.disabled").totals();
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn out_of_order_drops_keep_stack_consistent() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        let a = Span::enter("test.span.a");
+        let b = Span::enter("test.span.b");
+        drop(a); // dropped before b — not idiomatic, must not corrupt b
+        assert_eq!(current_stack(), vec!["test.span.b"]);
+        drop(b);
+        crate::set_enabled(false);
+        assert_eq!(current_depth(), 0);
+    }
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""CI gate for the telemetry export schema.
+
+Runs after an example batch with telemetry enabled; validates that
+`metrics.json` and `trace.json` parse as JSON and contain the keys the
+documented schema promises. Fails loudly on drift so exporter changes are
+deliberate.
+
+Usage: check_telemetry.py <metrics.json> <trace.json>
+"""
+
+import json
+import sys
+
+REQUIRED_COUNTERS = ["pmt_us", "cache.hits", "vf2.nodes", "vf2.searches"]
+REQUIRED_SECTIONS = ["counters", "gauges", "histograms", "spans"]
+REQUIRED_SPANS = ["batch.ingest", "batch.fct", "batch.cluster", "batch.index"]
+SPAN_FIELDS = ["count", "total_us", "max_us"]
+EVENT_FIELDS = ["name", "cat", "ph", "ts", "dur", "pid", "tid"]
+
+
+def fail(msg):
+    print(f"telemetry schema check FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in REQUIRED_SECTIONS:
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: missing section {section!r}")
+    for name in REQUIRED_COUNTERS:
+        value = doc["counters"].get(name)
+        if not isinstance(value, int) or value <= 0:
+            fail(f"{path}: counter {name!r} missing or not a positive int ({value!r})")
+    for name in REQUIRED_SPANS:
+        span = doc["spans"].get(name)
+        if not isinstance(span, dict):
+            fail(f"{path}: span {name!r} missing")
+        for field in SPAN_FIELDS:
+            if not isinstance(span.get(field), int):
+                fail(f"{path}: span {name!r} missing field {field!r}")
+        if span["count"] < 1:
+            fail(f"{path}: span {name!r} never completed")
+    for name, hist in doc["histograms"].items():
+        for field in ["count", "sum", "max", "buckets"]:
+            if field not in hist:
+                fail(f"{path}: histogram {name!r} missing field {field!r}")
+    print(f"{path}: ok ({len(doc['counters'])} counters, {len(doc['spans'])} spans)")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    if doc.get("displayTimeUnit") != "ms":
+        fail(f"{path}: displayTimeUnit must be 'ms'")
+    if not isinstance(doc.get("droppedEvents"), int):
+        fail(f"{path}: droppedEvents missing")
+    names = set()
+    for event in events:
+        for field in EVENT_FIELDS:
+            if field not in event:
+                fail(f"{path}: event missing field {field!r}: {event}")
+        if event["ph"] != "X":
+            fail(f"{path}: unexpected phase {event['ph']!r} (complete events only)")
+        names.add(event["name"])
+    for name in ["batch.ingest", "batch.fct"]:
+        if name not in names:
+            fail(f"{path}: no {name!r} event in trace")
+    print(f"{path}: ok ({len(events)} events, {len(names)} distinct spans)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_telemetry.py <metrics.json> <trace.json>")
+    check_metrics(sys.argv[1])
+    check_trace(sys.argv[2])
+    print("telemetry schema check passed")
+
+
+if __name__ == "__main__":
+    main()

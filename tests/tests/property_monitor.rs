@@ -1,0 +1,62 @@
+//! Property tests for the graphlet monitor (§3.4): incremental add/remove
+//! bookkeeping must stay equal to a from-scratch rebuild.
+
+use midas_core::monitor::GraphletMonitor;
+use midas_graph::{GraphDb, GraphId, LabeledGraph};
+use midas_tests::connected_graph_strategy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After adding a first wave, removing a random subset of it, and
+    /// adding a second wave, the monitor's totals equal those of a monitor
+    /// built from scratch on the surviving graphs.
+    #[test]
+    fn incremental_totals_match_rebuild(
+        first in proptest::collection::vec(connected_graph_strategy(6, 3), 1..6),
+        removed_mask in 0..64u32,
+        second in proptest::collection::vec(connected_graph_strategy(6, 3), 0..4),
+    ) {
+        let mut monitor = GraphletMonitor::default();
+        for (i, g) in first.iter().enumerate() {
+            monitor.add_graph(GraphId(i as u64), g);
+        }
+        let mut survivors: Vec<&LabeledGraph> = Vec::new();
+        for (i, g) in first.iter().enumerate() {
+            if removed_mask & (1 << i) != 0 {
+                monitor.remove_graph(GraphId(i as u64));
+            } else {
+                survivors.push(g);
+            }
+        }
+        for (i, g) in second.iter().enumerate() {
+            monitor.add_graph(GraphId(100 + i as u64), g);
+            survivors.push(g);
+        }
+        let rebuilt = GraphletMonitor::build(&GraphDb::from_graphs(survivors.iter().map(|g| (*g).clone())));
+        prop_assert_eq!(monitor.totals(), rebuilt.totals());
+        prop_assert_eq!(monitor.len(), rebuilt.len());
+        // And the distributions they feed into classification agree too.
+        let d = monitor.distribution().euclidean_distance(&rebuilt.distribution());
+        prop_assert!(d < 1e-12, "distribution drift {d}");
+    }
+
+    /// Removing every graph returns the monitor to its pristine state, no
+    /// matter the insertion order.
+    #[test]
+    fn full_removal_is_identity(
+        graphs in proptest::collection::vec(connected_graph_strategy(6, 3), 1..6),
+    ) {
+        let mut monitor = GraphletMonitor::default();
+        for (i, g) in graphs.iter().enumerate() {
+            monitor.add_graph(GraphId(i as u64), g);
+        }
+        for i in 0..graphs.len() {
+            monitor.remove_graph(GraphId(i as u64));
+        }
+        prop_assert!(monitor.is_empty());
+        let pristine = GraphletMonitor::default();
+        prop_assert_eq!(monitor.totals(), pristine.totals());
+    }
+}
