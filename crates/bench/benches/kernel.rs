@@ -186,6 +186,12 @@ fn main() {
     } else {
         prefilter_rejects as f64 / cache_stats.misses as f64
     };
+    // Per-search VF2 latency percentiles from the log₂ histogram the
+    // instrumented pass fed (the same series `/metrics` exposes as
+    // `midas_vf2_search_ns{quantile=...}`).
+    let vf2_latency = telemetry.histogram("vf2.search_ns");
+    let vf2_search_p50_ns = vf2_latency.quantile(0.5);
+    let vf2_search_p99_ns = vf2_latency.quantile(0.99);
 
     // --- Report ---------------------------------------------------------
     let results = c.take_results();
@@ -227,7 +233,7 @@ fn main() {
         "  \"speedups\": {{\n    \"matrix_build_parallel\": {build_speedup:.2},\n    \"matrix_build_parallel_cached\": {build_cached_speedup:.2},\n    \"apply_batch_parallel\": {batch_speedup:.2},\n    \"apply_batch_repeat_cached\": {batch_repeat_speedup:.2}\n  }},\n"
     ));
     json.push_str(&format!(
-        "  \"telemetry\": {{\n    \"disabled_probe_ns\": {probe_ns:.2},\n    \"cache_hit_rate\": {hit_rate:.4},\n    \"prefilter_reject_rate\": {prefilter_reject_rate:.4},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"prefilter_rejects\": {prefilter_rejects},\n    \"vf2_nodes\": {}\n  }}\n",
+        "  \"telemetry\": {{\n    \"disabled_probe_ns\": {probe_ns:.2},\n    \"cache_hit_rate\": {hit_rate:.4},\n    \"prefilter_reject_rate\": {prefilter_reject_rate:.4},\n    \"vf2_search_p50_ns\": {vf2_search_p50_ns},\n    \"vf2_search_p99_ns\": {vf2_search_p99_ns},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"prefilter_rejects\": {prefilter_rejects},\n    \"vf2_nodes\": {}\n  }}\n",
         cache_stats.hits,
         cache_stats.misses,
         telemetry.counter("vf2.nodes")
@@ -243,7 +249,8 @@ fn main() {
     );
     println!(
         "telemetry: disabled probe {probe_ns:.2}ns, cache hit rate {:.1}%, \
-         prefilter reject rate {:.1}%",
+         prefilter reject rate {:.1}%, vf2 search p50 {vf2_search_p50_ns}ns \
+         p99 {vf2_search_p99_ns}ns",
         100.0 * hit_rate,
         100.0 * prefilter_reject_rate
     );

@@ -102,6 +102,7 @@ pub struct Midas {
     patterns: PatternStore,
     kernel: MatchKernel,
     batch_counter: u64,
+    obs_server: Option<midas_obs::ObsServer>,
 }
 
 impl Midas {
@@ -116,6 +117,33 @@ impl Midas {
         }
         config.telemetry = config.telemetry.from_env();
         config.telemetry.activate();
+        // Live observability: bind the HTTP endpoints and arm the flight
+        // recorder before any batch runs, so the very first crash or scrape
+        // already has context.
+        let obs_server = if config.telemetry.serve {
+            midas_obs::flight::install_panic_hook();
+            midas_obs::flight::set_span_capture(true);
+            let addr = TelemetryConfig::serve_addr();
+            match midas_obs::ObsServer::start(&addr) {
+                Ok(server) => {
+                    midas_obs::obs_info!(
+                        "core::framework",
+                        "observability endpoints on http://{}",
+                        server.addr()
+                    );
+                    Some(server)
+                }
+                Err(e) => {
+                    midas_obs::obs_warn!(
+                        "core::framework",
+                        "failed to bind observability server on {addr}: {e}"
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
         let _span = midas_obs::span!("bootstrap");
         let fct_state = FctState::build(&db, config.mining());
         let space = FeatureSpace::from_fct(&fct_state.lattice, config.sup_min, db.len());
@@ -140,6 +168,7 @@ impl Midas {
             patterns,
             kernel,
             batch_counter: 0,
+            obs_server,
         };
         midas.clusters.take_dirty(); // fresh clusters are not "modified"
         Ok(midas)
@@ -148,6 +177,12 @@ impl Midas {
     /// The configuration.
     pub fn config(&self) -> &MidasConfig {
         &self.config
+    }
+
+    /// The bound address of the live observability endpoints, if
+    /// [`TelemetryConfig::serve`] was set (e.g. via `MIDAS_SERVE`).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs_server.as_ref().map(|s| s.addr())
     }
 
     /// The current database.
@@ -403,6 +438,23 @@ impl Midas {
         let pattern_maintenance_time = total_start.elapsed();
         midas_obs::counter_add!("pmt_us", pattern_maintenance_time.as_micros() as u64);
         midas_obs::counter_add!("pgt_us", (candidate_time + swap_time).as_micros() as u64);
+        // Flight recorder: always-on (bounded ring, one short lock), so a
+        // post-mortem dump has the last batches even when metrics are off.
+        midas_obs::flight::record_batch(midas_obs::BatchSummary {
+            seq: self.batch_counter,
+            kind: match kind {
+                Modification::Major => "major",
+                Modification::Minor => "minor",
+            },
+            distance,
+            pmt_us: pattern_maintenance_time.as_micros() as u64,
+            pgt_us: (candidate_time + swap_time).as_micros() as u64,
+            inserted: inserted.len(),
+            deleted: deleted_ids.len(),
+            candidates: candidates_generated,
+            swaps,
+            unix_ms: midas_obs::flight::unix_ms(),
+        });
         let telemetry = if telemetry_on {
             let snap = MetricsSnapshot::capture().since(&baseline);
             if midas_obs::tracing_enabled() {

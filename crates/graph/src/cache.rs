@@ -535,6 +535,21 @@ mod tests {
     }
 
     #[test]
+    fn hit_rate_is_zero_not_nan_on_zero_lookups() {
+        // Regression guard: 0/0 must read as 0.0, never NaN — the value
+        // flows straight into snapshot JSON and the Prometheus exposition,
+        // where NaN is either invalid or poisons downstream aggregation.
+        let empty = CacheStats::default();
+        assert_eq!(empty.hits + empty.misses, 0);
+        let rate = empty.hit_rate();
+        assert!(rate.is_finite(), "hit_rate on zero lookups must be finite");
+        assert_eq!(rate, 0.0);
+        // Same through a live cache that has never been queried.
+        let rate = EmbeddingCache::new().stats().hit_rate();
+        assert!(rate.is_finite() && rate == 0.0);
+    }
+
+    #[test]
     fn hit_rate_accounting_across_insert_delete_cycle() {
         let cache = EmbeddingCache::new();
         let p = CachedPattern::new(&path(&[0, 0]));

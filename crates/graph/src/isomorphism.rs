@@ -236,6 +236,11 @@ where
     let mut mapping = vec![u32::MAX; pn]; // pattern -> target
     let mut used = vec![false; target.vertex_count()];
     let mut nodes = 0u64;
+    // Wall-clock probe for the latency percentiles; the `Instant` reads
+    // only happen when telemetry is on, so the disabled path stays at one
+    // relaxed atomic load per probe.
+    let timed = midas_obs::enabled();
+    let start = timed.then(std::time::Instant::now);
     backtrack(
         pattern,
         target,
@@ -246,6 +251,9 @@ where
         &mut nodes,
         visit,
     );
+    if let Some(start) = start {
+        midas_obs::histogram_record!("vf2.search_ns", start.elapsed().as_nanos() as u64);
+    }
     midas_obs::counter_add!("vf2.searches", 1);
     midas_obs::counter_add!("vf2.nodes", nodes);
     midas_obs::histogram_record!("vf2.nodes_per_search", nodes);

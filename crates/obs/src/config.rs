@@ -4,7 +4,7 @@ use crate::log::LogLevel;
 use std::path::PathBuf;
 
 /// Telemetry knobs carried by `MidasConfig` (the struct stays `Copy`, so
-/// paths live in environment variables, not here).
+/// paths and addresses live in environment variables, not here).
 ///
 /// Environment overrides, applied by [`TelemetryConfig::from_env`]:
 ///
@@ -12,6 +12,11 @@ use std::path::PathBuf;
 ///   `0|false|off` disables both, unset leaves the config untouched;
 /// * `MIDAS_TRACE_OUT` — setting it enables tracing and names the
 ///   `trace.json` output path (see [`TelemetryConfig::trace_path`]);
+/// * `MIDAS_SERVE` — setting it (to a bind address such as
+///   `127.0.0.1:9898`, or `127.0.0.1:0` for an ephemeral port) enables
+///   [`Self::serve`] and names the address
+///   (see [`TelemetryConfig::serve_addr`]);
+/// * `MIDAS_FLIGHT` — flight-recorder batch capacity (a positive integer);
 /// * `MIDAS_LOG` — log level (see [`crate::log`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryConfig {
@@ -20,6 +25,12 @@ pub struct TelemetryConfig {
     /// Also collect Chrome-trace events and write `trace.json` after each
     /// batch. Implies nothing unless [`Self::enabled`] is set.
     pub trace: bool,
+    /// Serve the live observability endpoints (`/metrics`, `/snapshot`,
+    /// `/healthz`, `/flight`) over HTTP. The bind address comes from
+    /// [`TelemetryConfig::serve_addr`].
+    pub serve: bool,
+    /// How many batch summaries the flight recorder retains.
+    pub flight_capacity: usize,
     /// Log level for the [`crate::obs_warn!`]-family macros.
     pub log: LogLevel,
 }
@@ -30,6 +41,8 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             enabled: false,
             trace: false,
+            serve: false,
+            flight_capacity: crate::flight::DEFAULT_CAPACITY,
             log: LogLevel::Warn,
         }
     }
@@ -42,11 +55,13 @@ impl TelemetryConfig {
             enabled: true,
             trace: true,
             log: LogLevel::Info,
+            ..TelemetryConfig::default()
         }
     }
 
-    /// This config with the `MIDAS_TELEMETRY`/`MIDAS_TRACE_OUT`/`MIDAS_LOG`
-    /// environment overrides applied.
+    /// This config with the `MIDAS_TELEMETRY`/`MIDAS_TRACE_OUT`/
+    /// `MIDAS_SERVE`/`MIDAS_FLIGHT`/`MIDAS_LOG` environment overrides
+    /// applied.
     pub fn from_env(mut self) -> Self {
         if let Ok(v) = std::env::var("MIDAS_TELEMETRY") {
             if let Some(on) = parse_bool(&v) {
@@ -56,6 +71,19 @@ impl TelemetryConfig {
         }
         if std::env::var_os("MIDAS_TRACE_OUT").is_some() {
             self.trace = true;
+        }
+        if std::env::var_os("MIDAS_SERVE").is_some() {
+            self.serve = true;
+            // Serving implies collecting: an endpoint over a disabled
+            // registry would only ever report zeros.
+            self.enabled = true;
+        }
+        if let Some(cap) = std::env::var("MIDAS_FLIGHT")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&c| c > 0)
+        {
+            self.flight_capacity = cap;
         }
         if let Some(level) = std::env::var("MIDAS_LOG")
             .ok()
@@ -68,11 +96,12 @@ impl TelemetryConfig {
 
     /// Applies this config to the process-global switches
     /// ([`crate::set_enabled`], [`crate::set_tracing`],
-    /// [`crate::log::set_log_level`]).
+    /// [`crate::log::set_log_level`], [`crate::flight::set_capacity`]).
     pub fn activate(&self) {
         crate::set_enabled(self.enabled);
         crate::set_tracing(self.enabled && self.trace);
         crate::log::set_log_level(self.log);
+        crate::flight::set_capacity(self.flight_capacity);
     }
 
     /// Where `trace.json` goes: `MIDAS_TRACE_OUT` or `./trace.json`.
@@ -80,6 +109,15 @@ impl TelemetryConfig {
         std::env::var_os("MIDAS_TRACE_OUT")
             .map(PathBuf::from)
             .unwrap_or_else(|| PathBuf::from("trace.json"))
+    }
+
+    /// The bind address for the observability endpoints: `MIDAS_SERVE` or
+    /// loopback on an ephemeral port.
+    pub fn serve_addr() -> String {
+        std::env::var("MIDAS_SERVE")
+            .ok()
+            .filter(|s| !s.trim().is_empty())
+            .unwrap_or_else(|| "127.0.0.1:0".to_string())
     }
 }
 
@@ -101,7 +139,16 @@ mod tests {
         let c = TelemetryConfig::default();
         assert!(!c.enabled);
         assert!(!c.trace);
+        assert!(!c.serve);
+        assert_eq!(c.flight_capacity, crate::flight::DEFAULT_CAPACITY);
         assert_eq!(c.log, LogLevel::Warn);
+    }
+
+    #[test]
+    fn serve_addr_defaults_to_ephemeral_loopback() {
+        if std::env::var_os("MIDAS_SERVE").is_none() {
+            assert_eq!(TelemetryConfig::serve_addr(), "127.0.0.1:0");
+        }
     }
 
     #[test]

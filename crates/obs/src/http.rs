@@ -1,0 +1,344 @@
+//! The embedded observability HTTP server — zero dependencies, hand-rolled
+//! on [`std::net::TcpListener`].
+//!
+//! A long-running MIDAS daemon needs a runtime window: the file exporters
+//! of [`crate::snapshot`]/[`crate::trace`] only escape the process at
+//! end-of-batch, so an operator watching a live workload would otherwise
+//! be blind between snapshots. [`ObsServer`] binds an address (commonly
+//! `127.0.0.1:0` in tests, a fixed port in production) and serves:
+//!
+//! | Endpoint    | Content                                                  |
+//! |-------------|----------------------------------------------------------|
+//! | `/metrics`  | Prometheus text exposition ([`crate::prom::render`])     |
+//! | `/snapshot` | The full [`MetricsSnapshot`] JSON                        |
+//! | `/healthz`  | Drift state + last-batch status, JSON                    |
+//! | `/flight`   | Flight-recorder dump ([`crate::flight::dump_json`])      |
+//!
+//! Architecture: one accept-loop thread pushes connections into a bounded
+//! channel drained by a small worker pool ([`WORKERS`] threads). Requests
+//! are `GET`-only, answered `Connection: close`, capped at
+//! [`MAX_REQUEST_BYTES`] — a scrape endpoint, not a web framework. All
+//! data served is read-only over the global registry and flight recorder,
+//! so a slow scraper never blocks a maintenance batch.
+
+use crate::snapshot::MetricsSnapshot;
+use crate::{flight, prom};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Worker threads draining the accept queue.
+const WORKERS: usize = 2;
+
+/// Pending-connection queue bound (beyond it, accepts block briefly).
+const QUEUE: usize = 32;
+
+/// Hard cap on request head size (line + headers).
+const MAX_REQUEST_BYTES: u64 = 8 * 1024;
+
+/// Per-connection socket timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The embedded observability server. Dropping (or [`shutdown`]) stops
+/// the accept loop and joins every thread.
+///
+/// [`shutdown`]: ObsServer::shutdown
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving. The bound address — with the real port — is
+    /// [`ObsServer::addr`].
+    pub fn start(addr: &str) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(QUEUE);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut threads = Vec::with_capacity(WORKERS + 1);
+        for i in 0..WORKERS {
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("midas-obs-worker-{i}"))
+                    .spawn(move || loop {
+                        let stream = match rx.lock() {
+                            Ok(guard) => guard.recv(),
+                            Err(_) => return,
+                        };
+                        match stream {
+                            Ok(stream) => handle_connection(stream, started),
+                            Err(_) => return, // sender gone: shutdown
+                        }
+                    })?,
+            );
+        }
+        {
+            let stop = Arc::clone(&stop);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("midas-obs-accept".into())
+                    .spawn(move || {
+                        for stream in listener.incoming() {
+                            if stop.load(Ordering::Acquire) {
+                                return; // drops tx → workers drain and exit
+                            }
+                            if let Ok(stream) = stream {
+                                // A full queue applies backpressure to the
+                                // scraper, never to the maintenance loop.
+                                let _ = tx.send(stream);
+                            }
+                        }
+                    })?,
+            );
+        }
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            threads,
+        })
+    }
+
+    /// The bound address (real port even when started on `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept loop with one throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Reads the request head, routes it, writes the response. Any I/O error
+/// just drops the connection — the scraper retries, the daemon does not
+/// care.
+fn handle_connection(stream: TcpStream, started: Instant) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let mut reader = BufReader::new(&stream).take(MAX_REQUEST_BYTES);
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line).is_err() {
+        return;
+    }
+    // Drain headers so the client sees a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header).is_ok() {
+        if header == "\r\n" || header == "\n" || header.is_empty() {
+            break;
+        }
+        header.clear();
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return,
+    };
+    let response = if method != "GET" {
+        respond(405, "text/plain; charset=utf-8", "method not allowed\n")
+    } else {
+        route(path, started)
+    };
+    let _ = (&stream).write_all(response.as_bytes());
+    let _ = (&stream).flush();
+}
+
+/// Dispatches one GET path to its payload.
+fn route(path: &str, started: Instant) -> String {
+    // Scrapers may append query strings; ignore them.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = prom::render(&MetricsSnapshot::capture());
+            respond(200, "text/plain; version=0.0.4; charset=utf-8", &body)
+        }
+        "/snapshot" => respond(
+            200,
+            "application/json; charset=utf-8",
+            &MetricsSnapshot::capture().to_json(),
+        ),
+        "/healthz" => respond(200, "application/json; charset=utf-8", &healthz(started)),
+        "/flight" => respond(200, "application/json; charset=utf-8", &flight::dump_json()),
+        _ => respond(404, "text/plain; charset=utf-8", "not found\n"),
+    }
+}
+
+/// The health document: drift state, uptime, and the last batch outcome.
+fn healthz(started: Instant) -> String {
+    let drift = crate::registry::registry().gauge("monitor.drift").get();
+    let last = flight::last_batch();
+    let last_json = match &last {
+        Some(b) => format!(
+            "{{\"seq\": {}, \"kind\": {}, \"distance\": {}, \"pmt_us\": {}, \"swaps\": {}, \"unix_ms\": {}}}",
+            b.seq,
+            crate::json::quote(b.kind),
+            crate::json::number(b.distance),
+            b.pmt_us,
+            b.swaps,
+            b.unix_ms
+        ),
+        None => "null".to_owned(),
+    };
+    format!(
+        "{{\n  \"status\": \"ok\",\n  \"uptime_s\": {},\n  \"telemetry_enabled\": {},\n  \"drift\": {},\n  \"batches\": {},\n  \"last_batch\": {}\n}}\n",
+        started.elapsed().as_secs(),
+        crate::enabled(),
+        crate::json::number(drift),
+        flight::total_batches(),
+        last_json
+    )
+}
+
+/// Formats one complete HTTP/1.1 response with `Connection: close`.
+fn respond(status: u16, content_type: &str, body: &str) -> String {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    /// Minimal test client: one GET, returns (status line, body).
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        let status = head.lines().next().unwrap_or("").to_owned();
+        (status, body.to_owned())
+    }
+
+    #[test]
+    fn serves_all_four_endpoints_and_404() {
+        let _g = crate::tests::exclusive();
+        crate::flight::clear();
+        crate::set_enabled(true);
+        crate::counter_add!("test.http.requests", 3);
+        {
+            let _s = crate::span!("test.http.span");
+        }
+        crate::set_enabled(false);
+        crate::flight::record_batch(crate::flight::BatchSummary {
+            seq: 1,
+            kind: "minor",
+            distance: 0.02,
+            pmt_us: 1200,
+            pgt_us: 0,
+            inserted: 4,
+            deleted: 0,
+            candidates: 0,
+            swaps: 0,
+            unix_ms: crate::flight::unix_ms(),
+        });
+
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/metrics");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("midas_test_http_requests 3"), "{body}");
+        assert!(body.contains("quantile=\"0.99\""), "{body}");
+
+        let (status, body) = get(addr, "/snapshot");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("snapshot JSON");
+        assert!(body.contains("\"test.http.requests\": 3"));
+
+        let (status, body) = get(addr, "/healthz");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("healthz JSON");
+        assert!(body.contains("\"status\": \"ok\""));
+        assert!(body.contains("\"batches\": 1"));
+        assert!(body.contains("\"seq\": 1"));
+
+        let (status, body) = get(addr, "/flight");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("flight JSON");
+        assert!(body.contains("\"total_batches\": 1"));
+
+        let (status, _) = get(addr, "/nope");
+        assert!(status.contains("404"));
+
+        // Query strings are tolerated.
+        let (status, _) = get(addr, "/healthz?verbose=1");
+        assert!(status.contains("200"));
+
+        server.shutdown();
+        crate::flight::clear();
+    }
+
+    #[test]
+    fn concurrent_scrapes_all_answer() {
+        let _g = crate::tests::exclusive();
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    let (status, body) = get(addr, "/healthz");
+                    assert!(status.contains("200"));
+                    json::validate(&body).expect("healthz JSON");
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let _g = crate::tests::exclusive();
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        drop(server); // Drop path joins threads
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+}

@@ -53,14 +53,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
+pub mod flight;
+pub mod http;
 pub mod json;
 pub mod log;
+pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 
 pub use config::TelemetryConfig;
+pub use flight::{BatchSummary, FlightEvent};
+pub use http::ObsServer;
 pub use log::LogLevel;
 pub use registry::{Counter, Gauge, Histogram};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SpanStatSnapshot};

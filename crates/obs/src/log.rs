@@ -100,9 +100,12 @@ pub fn log_enabled(level: LogLevel) -> bool {
     level <= log_level()
 }
 
-/// Emits one formatted line to stderr. Prefer the level macros.
+/// Emits one formatted line to stderr (and into the flight recorder's
+/// event ring, so `GET /flight` shows recent log context). Prefer the
+/// level macros.
 pub fn emit(level: LogLevel, target: &str, args: std::fmt::Arguments<'_>) {
     eprintln!("[midas {:5} {target}] {args}", level.name());
+    crate::flight::record_event(level.name(), format!("[{target}] {args}"));
 }
 
 /// Logs at an explicit level: `obs_log!(LogLevel::Info, "core::framework",

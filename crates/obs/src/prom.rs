@@ -1,0 +1,235 @@
+//! Prometheus text exposition (format 0.0.4) for a [`MetricsSnapshot`].
+//!
+//! MIDAS metric names use dots (`vf2.searches`, `batch.fct`); Prometheus
+//! names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`, so [`sanitize_name`] maps
+//! every disallowed character to `_`. Label values may contain anything,
+//! but `\`, `"` and newlines must be escaped ([`escape_label_value`]) —
+//! an unescaped quote would silently truncate the label and corrupt every
+//! later sample on the scrape, so the exporter escapes rather than trusts.
+//!
+//! Rendering rules:
+//!
+//! * counters → `midas_<name>` with `# TYPE ... counter`;
+//! * gauges → `midas_<name>` with `# TYPE ... gauge` (non-finite values
+//!   render as `0`, mirroring the JSON exporter);
+//! * histograms and span durations → summary-style families: the quantile
+//!   series `midas_<name>{quantile="0.5|0.9|0.99"}` plus `_sum`, `_count`
+//!   and `_max`;
+//! * sliding windows → the same family shape under `midas_<name>_window`,
+//!   so dashboards can plot recent percentiles next to lifetime ones.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+
+/// Prefix every exported family shares.
+const PREFIX: &str = "midas_";
+
+/// Maps an internal metric name onto the Prometheus name charset: ASCII
+/// letters, digits, `_` and `:` pass through, everything else (dots, `-`,
+/// quotes, newlines, unicode) becomes `_`. A leading digit gains a `_`
+/// prefix. The result always matches `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a label value for the text exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n` (tabs and other control characters pass
+/// through — the format only reserves those three).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite `f64` sample value (`NaN`/`±inf` → `0`, matching
+/// [`crate::json::number`]).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_owned()
+    }
+}
+
+/// Renders one summary-style family (quantiles + `_sum`/`_count`/`_max`).
+fn push_summary(out: &mut String, family: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {family} summary");
+    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+        let _ = writeln!(
+            out,
+            "{family}{{quantile=\"{}\"}} {}",
+            escape_label_value(label),
+            h.quantile(q)
+        );
+    }
+    let _ = writeln!(out, "{family}_sum {}", h.sum);
+    let _ = writeln!(out, "{family}_count {}", h.count);
+    let _ = writeln!(out, "# TYPE {family}_max gauge");
+    let _ = writeln!(out, "{family}_max {}", h.max);
+}
+
+/// Renders the whole snapshot as one Prometheus scrape body.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let family = format!("{PREFIX}{}", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let family = format!("{PREFIX}{}", sanitize_name(name));
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let _ = writeln!(out, "{family} {}", number(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let family = format!("{PREFIX}{}", sanitize_name(name));
+        push_summary(&mut out, &family, h);
+    }
+    for (name, s) in &snap.spans {
+        let family = format!("{PREFIX}span_{}_duration_us", sanitize_name(name));
+        push_summary(&mut out, &family, &s.durations);
+    }
+    for (name, w) in &snap.windows {
+        let family = format!("{PREFIX}{}_window", sanitize_name(name));
+        push_summary(&mut out, &family, w);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::registry;
+    use crate::snapshot::SpanStatSnapshot;
+
+    /// Every name must match the exposition-format identifier rule.
+    fn is_valid_name(name: &str) -> bool {
+        let mut chars = name.chars();
+        let first_ok = chars
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':');
+        first_ok && chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    }
+
+    #[test]
+    fn sanitize_maps_dots_and_rejects_bad_chars() {
+        assert_eq!(sanitize_name("vf2.searches"), "vf2_searches");
+        assert_eq!(sanitize_name("batch.swap.scan"), "batch_swap_scan");
+        assert_eq!(sanitize_name("a\"b\nc\\d"), "a_b_c_d");
+        assert_eq!(sanitize_name("7zip"), "_7zip");
+        assert_eq!(sanitize_name(""), "_");
+        assert_eq!(sanitize_name("héllo"), "h_llo");
+        for raw in ["vf2.searches", "a\"b", "\n\n", "99luft", "x-y"] {
+            assert!(is_valid_name(&sanitize_name(raw)), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn label_values_escape_the_three_reserved_chars() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+    }
+
+    /// Sanitization covers every metric name currently registered in this
+    /// process — whatever instrumentation has run so far, each one must
+    /// export as a valid family name.
+    #[test]
+    fn every_registered_metric_sanitizes_to_a_valid_family() {
+        let _g = crate::tests::exclusive();
+        crate::set_enabled(true);
+        // Touch representative probes (dots, multi-segment) plus a
+        // deliberately hostile name.
+        crate::counter_add!("test.prom.a.b", 1);
+        crate::gauge_set!("test.prom.gauge", 0.5);
+        crate::histogram_record!("test.prom.hist", 3);
+        registry().counter("test.prom.\"quoted\"\nname\\x").add(1);
+        crate::set_enabled(false);
+        let mut names: Vec<String> = Vec::new();
+        registry().for_each_counter(|n, _| names.push(n.to_owned()));
+        registry().for_each_gauge(|n, _| names.push(n.to_owned()));
+        registry().for_each_histogram(|n, _| names.push(n.to_owned()));
+        registry().for_each_span(|n, _| names.push(n.to_owned()));
+        assert!(!names.is_empty());
+        for name in names {
+            let s = sanitize_name(&name);
+            assert!(is_valid_name(&s), "{name:?} sanitized to invalid {s:?}");
+        }
+    }
+
+    #[test]
+    fn render_produces_wellformed_exposition_lines() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("vf2.searches".into(), 7);
+        snap.gauges.insert("monitor.drift".into(), f64::NAN);
+        snap.histograms.insert(
+            "vf2.nodes_per_search".into(),
+            HistogramSnapshot {
+                count: 2,
+                sum: 20,
+                max: 15,
+                buckets: vec![(15, 2)],
+            },
+        );
+        snap.spans.insert(
+            "batch.fct".into(),
+            SpanStatSnapshot {
+                count: 1,
+                total_us: 42,
+                max_us: 42,
+                durations: HistogramSnapshot {
+                    count: 1,
+                    sum: 42,
+                    max: 42,
+                    buckets: vec![(63, 1)],
+                },
+            },
+        );
+        snap.windows.insert(
+            "vf2.nodes_per_search".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 15,
+                max: 15,
+                buckets: vec![(15, 1)],
+            },
+        );
+        let doc = render(&snap);
+        assert!(doc.contains("# TYPE midas_vf2_searches counter"));
+        assert!(doc.contains("midas_vf2_searches 7"));
+        assert!(doc.contains("midas_monitor_drift 0"), "NaN renders as 0");
+        assert!(doc.contains("midas_vf2_nodes_per_search{quantile=\"0.99\"}"));
+        assert!(doc.contains("midas_span_batch_fct_duration_us{quantile=\"0.5\"} 42"));
+        assert!(doc.contains("midas_vf2_nodes_per_search_window{quantile=\"0.9\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in doc.lines() {
+            if line.starts_with('#') {
+                assert!(line.starts_with("# TYPE "), "only TYPE comments: {line}");
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line");
+            let name = series.split('{').next().unwrap();
+            assert!(is_valid_name(name), "bad family in {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+        }
+    }
+}

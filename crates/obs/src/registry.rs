@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{OnceLock, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Number of counter shards. Power of two; sized so the worker threads of
 /// `midas_graph::exec` rarely collide on one cache line.
@@ -18,6 +18,28 @@ const COUNTER_SHARDS: usize = 16;
 /// Histogram bucket count: bucket `i` holds values whose bit length is `i`
 /// (i.e. `v == 0` → bucket 0, else bucket `⌊log₂ v⌋ + 1`).
 const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Sliding-window slots per histogram (ring of time slices).
+const WINDOW_SLOTS: usize = 8;
+
+/// Seconds each window slot covers. The live window therefore spans up to
+/// `WINDOW_SLOTS × WINDOW_SLOT_SECS` seconds (and at least one slot less,
+/// since the newest slot is still filling).
+pub const WINDOW_SLOT_SECS: u64 = 15;
+
+/// Slot tick sentinel: "this slot has never been written".
+const TICK_EMPTY: u64 = u64::MAX;
+
+fn process_epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The current window tick (seconds since process start, in
+/// [`WINDOW_SLOT_SECS`] units).
+pub fn current_tick() -> u64 {
+    process_epoch().elapsed().as_secs() / WINDOW_SLOT_SECS
+}
 
 /// One cache line per shard so concurrent `add`s from different threads do
 /// not false-share.
@@ -104,18 +126,19 @@ impl Gauge {
     }
 }
 
-/// A log₂-bucketed histogram of `u64` samples with exact count/sum/max.
+/// One set of log₂ buckets with exact count/sum/max — the storage shared
+/// by a histogram's lifetime totals and each of its window slots.
 #[derive(Debug)]
-pub struct Histogram {
+struct BucketSet {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
 }
 
-impl Histogram {
+impl BucketSet {
     fn new() -> Self {
-        Histogram {
+        BucketSet {
             buckets: [0u64; HISTOGRAM_BUCKETS].map(AtomicU64::new),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
@@ -123,23 +146,15 @@ impl Histogram {
         }
     }
 
-    /// Index of the bucket `v` falls in: 0 for 0, else `⌊log₂ v⌋ + 1`.
-    /// Bucket `i > 0` therefore covers `[2^(i-1), 2^i)`.
-    fn bucket(v: u64) -> usize {
-        (64 - v.leading_zeros()) as usize
-    }
-
-    /// Records one sample.
     #[inline]
-    pub fn record(&self, v: u64) {
-        self.buckets[Self::bucket(v)].fetch_add(1, Ordering::Relaxed);
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.max.fetch_max(v, Ordering::Relaxed);
     }
 
-    /// `(count, sum, max)` so far.
-    pub fn totals(&self) -> (u64, u64, u64) {
+    fn totals(&self) -> (u64, u64, u64) {
         (
             self.count.load(Ordering::Relaxed),
             self.sum.load(Ordering::Relaxed),
@@ -147,9 +162,7 @@ impl Histogram {
         )
     }
 
-    /// Non-empty buckets as `(inclusive upper bound, count)` pairs, in
-    /// ascending order.
-    pub fn buckets(&self) -> Vec<(u64, u64)> {
+    fn buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
             .iter()
             .enumerate()
@@ -158,8 +171,7 @@ impl Histogram {
                 if n == 0 {
                     return None;
                 }
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                Some((upper, n))
+                Some((bucket_upper(i), n))
             })
             .collect()
     }
@@ -174,12 +186,156 @@ impl Histogram {
     }
 }
 
-/// Aggregate duration statistics for one span name.
+/// Index of the bucket `v` falls in: 0 for 0, else `⌊log₂ v⌋ + 1`.
+/// Bucket `i > 0` therefore covers `[2^(i-1), 2^i)`.
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One time slice of a histogram's sliding window.
+#[derive(Debug)]
+struct WindowSlot {
+    /// The tick this slot currently holds, or [`TICK_EMPTY`].
+    tick: AtomicU64,
+    set: BucketSet,
+}
+
+/// Aggregate of a histogram's live sliding window — what the last
+/// ~`WINDOW_SLOTS × WINDOW_SLOT_SECS` seconds recorded.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowAggregate {
+    /// Samples recorded inside the window.
+    pub count: u64,
+    /// Sum of those samples.
+    pub sum: u64,
+    /// Largest sample inside the window.
+    pub max: u64,
+    /// Non-empty log₂ buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+/// A log₂-bucketed histogram of `u64` samples with exact count/sum/max
+/// plus a sliding-window ring for recency-scoped quantiles.
+///
+/// The window is *lock-light and approximate*: slot rotation resets a slot
+/// with a CAS on its tick, so a sample racing the reset at a slot boundary
+/// may be dropped from (or double-counted in) the window — never from the
+/// lifetime totals. Telemetry tolerates this; correctness code must not
+/// read windows.
+#[derive(Debug)]
+pub struct Histogram {
+    base: BucketSet,
+    window: [WindowSlot; WINDOW_SLOTS],
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            base: BucketSet::new(),
+            window: std::array::from_fn(|_| WindowSlot {
+                tick: AtomicU64::new(TICK_EMPTY),
+                set: BucketSet::new(),
+            }),
+        }
+    }
+
+    /// Records one sample into the lifetime totals and the current window
+    /// slot.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.base.record(v);
+        self.record_windowed_at(v, current_tick());
+    }
+
+    /// Records only into the window ring, at an explicit tick. Exposed so
+    /// tests can drive slot rotation deterministically.
+    pub fn record_windowed_at(&self, v: u64, tick: u64) {
+        let slot = &self.window[(tick % WINDOW_SLOTS as u64) as usize];
+        let seen = slot.tick.load(Ordering::Acquire);
+        if seen != tick {
+            // This slot holds a stale slice (≥ WINDOW_SLOTS ticks old);
+            // whoever wins the CAS clears it for the new tick.
+            if slot
+                .tick
+                .compare_exchange(seen, tick, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                slot.set.reset();
+            }
+        }
+        slot.set.record(v);
+    }
+
+    /// `(count, sum, max)` over the histogram's lifetime.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.base.totals()
+    }
+
+    /// Non-empty lifetime buckets as `(inclusive upper bound, count)`
+    /// pairs, in ascending order.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.base.buckets()
+    }
+
+    /// Aggregate over the live sliding window.
+    pub fn windowed(&self) -> WindowAggregate {
+        self.windowed_at(current_tick())
+    }
+
+    /// Window aggregate as seen at an explicit tick (slots older than
+    /// `WINDOW_SLOTS` ticks are excluded). Exposed for deterministic tests.
+    pub fn windowed_at(&self, now: u64) -> WindowAggregate {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        let mut agg = WindowAggregate::default();
+        for slot in &self.window {
+            let tick = slot.tick.load(Ordering::Acquire);
+            if tick == TICK_EMPTY || tick > now || now - tick >= WINDOW_SLOTS as u64 {
+                continue;
+            }
+            let (count, sum, max) = slot.set.totals();
+            agg.count += count;
+            agg.sum += sum;
+            agg.max = agg.max.max(max);
+            for (i, b) in slot.set.buckets.iter().enumerate() {
+                buckets[i] += b.load(Ordering::Relaxed);
+            }
+        }
+        agg.buckets = buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_upper(i), n))
+            .collect();
+        agg
+    }
+
+    fn reset(&self) {
+        self.base.reset();
+        for slot in &self.window {
+            slot.tick.store(TICK_EMPTY, Ordering::Release);
+            slot.set.reset();
+        }
+    }
+}
+
+/// Aggregate duration statistics for one span name: exact count/total/max
+/// plus a log₂ histogram of per-completion durations (µs) so phase times
+/// get percentile estimates, not just means.
 #[derive(Debug)]
 pub struct SpanStat {
     count: AtomicU64,
     total_ns: AtomicU64,
     max_ns: AtomicU64,
+    durations_us: Histogram,
 }
 
 impl SpanStat {
@@ -188,6 +344,7 @@ impl SpanStat {
             count: AtomicU64::new(0),
             total_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            durations_us: Histogram::new(),
         }
     }
 
@@ -197,6 +354,7 @@ impl SpanStat {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.durations_us.record(ns / 1_000);
     }
 
     /// `(count, total, max)` so far.
@@ -208,10 +366,16 @@ impl SpanStat {
         )
     }
 
+    /// The log₂ histogram of completion durations, in microseconds.
+    pub fn durations(&self) -> &Histogram {
+        &self.durations_us
+    }
+
     fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.total_ns.store(0, Ordering::Relaxed);
         self.max_ns.store(0, Ordering::Relaxed);
+        self.durations_us.reset();
     }
 }
 
@@ -359,5 +523,53 @@ mod tests {
         assert_eq!(count, 2);
         assert_eq!(total, Duration::from_micros(40));
         assert_eq!(max, Duration::from_micros(30));
+        // Durations also land in the µs histogram (10 → (7,15], 30 → (15,31]).
+        let (hcount, hsum, hmax) = s.durations().totals();
+        assert_eq!((hcount, hsum, hmax), (2, 40, 30));
+    }
+
+    #[test]
+    fn window_aggregates_only_recent_slots() {
+        let h = registry().histogram("test.registry.window");
+        h.reset();
+        // Ticks 0..3 record distinct values; at tick 3 all are in-window.
+        for tick in 0..4u64 {
+            h.record_windowed_at(10 * (tick + 1), tick);
+        }
+        let w = h.windowed_at(3);
+        assert_eq!(w.count, 4);
+        assert_eq!(w.sum, 10 + 20 + 30 + 40);
+        assert_eq!(w.max, 40);
+        // Far in the future, every slot has aged out.
+        let empty = h.windowed_at(3 + WINDOW_SLOTS as u64);
+        assert_eq!(empty, WindowAggregate::default());
+    }
+
+    #[test]
+    fn window_slots_recycle_on_wraparound() {
+        let h = registry().histogram("test.registry.window_wrap");
+        h.reset();
+        h.record_windowed_at(1, 0);
+        // One full ring later the same slot is reused for the new tick;
+        // the stale tick-0 slice must be dropped, not merged.
+        let reuse = WINDOW_SLOTS as u64;
+        h.record_windowed_at(100, reuse);
+        let w = h.windowed_at(reuse);
+        assert_eq!(w.count, 1);
+        assert_eq!(w.sum, 100);
+        assert_eq!(w.buckets, vec![(127, 1)]);
+    }
+
+    #[test]
+    fn record_feeds_both_lifetime_and_window() {
+        let h = registry().histogram("test.registry.window_live");
+        h.reset();
+        h.record(5);
+        h.record(9);
+        let (count, sum, _) = h.totals();
+        assert_eq!((count, sum), (2, 14));
+        let w = h.windowed();
+        assert_eq!(w.count, 2);
+        assert_eq!(w.sum, 14);
     }
 }

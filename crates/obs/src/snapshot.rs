@@ -9,7 +9,7 @@ use std::path::Path;
 use std::time::Duration;
 
 /// Snapshot of one span statistic.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SpanStatSnapshot {
     /// Completed spans.
     pub count: u64,
@@ -17,12 +17,36 @@ pub struct SpanStatSnapshot {
     pub total_us: u64,
     /// Longest single completion, microseconds.
     pub max_us: u64,
+    /// Log₂ histogram of per-completion durations, microseconds — the
+    /// source of the percentile estimates.
+    pub durations: HistogramSnapshot,
 }
 
 impl SpanStatSnapshot {
     /// Total as a [`Duration`].
     pub fn total(&self) -> Duration {
         Duration::from_micros(self.total_us)
+    }
+
+    /// Estimated q-quantile of completion durations, microseconds (see
+    /// [`HistogramSnapshot::quantile`] for the error bound).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        self.durations.quantile(q)
+    }
+
+    /// Estimated median completion duration, microseconds.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// Estimated 90th-percentile completion duration, microseconds.
+    pub fn p90_us(&self) -> u64 {
+        self.quantile_us(0.90)
+    }
+
+    /// Estimated 99th-percentile completion duration, microseconds.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
     }
 }
 
@@ -37,6 +61,70 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty log₂ buckets as `(inclusive upper bound, count)`.
     pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimated q-quantile, by linear interpolation inside the log₂
+    /// bucket holding rank `⌈q·count⌉`.
+    ///
+    /// Because bucket `i > 0` spans `[2^(i-1), 2^i)`, the estimate is off
+    /// by at most the bucket width: it always lands in the right bucket,
+    /// so the relative error is below 2× (and the result is additionally
+    /// clamped to the exact observed maximum). Returns 0 on an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for &(upper, n) in &self.buckets {
+            if rank <= cum + n {
+                let lower = if upper == 0 { 0 } else { upper.div_ceil(2) };
+                let into = (rank - cum) as f64 / n as f64;
+                let est = lower as f64 + (upper - lower) as f64 * into;
+                return (est.round() as u64).min(self.max);
+            }
+            cum += n;
+        }
+        self.max
+    }
+
+    /// Estimated median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// Estimated 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// Estimated 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// The delta `self − baseline`, bucket by bucket (saturating).
+    fn since(&self, base: Option<&HistogramSnapshot>) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(base.map_or(0, |b| b.count));
+        let mut buckets: Vec<(u64, u64)> = Vec::new();
+        for &(upper, n) in &self.buckets {
+            let base_n = base
+                .and_then(|b| b.buckets.iter().find(|(u, _)| *u == upper))
+                .map_or(0, |(_, n)| *n);
+            let d = n.saturating_sub(base_n);
+            if d > 0 {
+                buckets.push((upper, d));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(base.map_or(0, |b| b.sum)),
+            max: self.max,
+            buckets,
+        }
+    }
 }
 
 /// A point-in-time copy of every registered metric.
@@ -56,6 +144,12 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Span statistics by name.
     pub spans: BTreeMap<String, SpanStatSnapshot>,
+    /// Sliding-window aggregates captured at snapshot time: one entry per
+    /// histogram with recent samples, plus `<span>.duration_us` entries for
+    /// spans that completed inside the window. Like gauges these describe
+    /// "now" rather than an interval, so [`Self::since`] passes them
+    /// through unchanged.
+    pub windows: BTreeMap<String, HistogramSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -80,17 +174,34 @@ impl MetricsSnapshot {
                     buckets: h.buckets(),
                 },
             );
+            let w = h.windowed();
+            if w.count > 0 {
+                snap.windows.insert(name.to_owned(), window_snapshot(w));
+            }
         });
         reg.for_each_span(|name, s| {
             let (count, total, max) = s.totals();
+            let dh = s.durations();
+            let (dcount, dsum, dmax) = dh.totals();
             snap.spans.insert(
                 name.to_owned(),
                 SpanStatSnapshot {
                     count,
                     total_us: total.as_micros().min(u64::MAX as u128) as u64,
                     max_us: max.as_micros().min(u64::MAX as u128) as u64,
+                    durations: HistogramSnapshot {
+                        count: dcount,
+                        sum: dsum,
+                        max: dmax,
+                        buckets: dh.buckets(),
+                    },
                 },
             );
+            let w = dh.windowed();
+            if w.count > 0 {
+                snap.windows
+                    .insert(format!("{name}.duration_us"), window_snapshot(w));
+            }
         });
         snap
     }
@@ -108,31 +219,12 @@ impl MetricsSnapshot {
             }
         }
         out.gauges = self.gauges.clone();
+        out.windows = self.windows.clone();
         for (name, h) in &self.histograms {
-            let base = baseline.histograms.get(name);
-            let count = h.count.saturating_sub(base.map_or(0, |b| b.count));
-            if count == 0 {
-                continue;
+            let delta = h.since(baseline.histograms.get(name));
+            if delta.count > 0 {
+                out.histograms.insert(name.clone(), delta);
             }
-            let mut buckets: Vec<(u64, u64)> = Vec::new();
-            for &(upper, n) in &h.buckets {
-                let base_n = base
-                    .and_then(|b| b.buckets.iter().find(|(u, _)| *u == upper))
-                    .map_or(0, |(_, n)| *n);
-                let d = n.saturating_sub(base_n);
-                if d > 0 {
-                    buckets.push((upper, d));
-                }
-            }
-            out.histograms.insert(
-                name.clone(),
-                HistogramSnapshot {
-                    count,
-                    sum: h.sum.saturating_sub(base.map_or(0, |b| b.sum)),
-                    max: h.max,
-                    buckets,
-                },
-            );
         }
         for (name, s) in &self.spans {
             let base = baseline.spans.get(name);
@@ -146,6 +238,7 @@ impl MetricsSnapshot {
                     count,
                     total_us: s.total_us.saturating_sub(base.map_or(0, |b| b.total_us)),
                     max_us: s.max_us,
+                    durations: s.durations.since(base.map(|b| &b.durations)),
                 },
             );
         }
@@ -164,7 +257,13 @@ impl MetricsSnapshot {
 
     /// The named span statistic (zeroed when absent).
     pub fn span(&self, name: &str) -> SpanStatSnapshot {
-        self.spans.get(name).copied().unwrap_or_default()
+        self.spans.get(name).cloned().unwrap_or_default()
+    }
+
+    /// The named histogram (zeroed when absent) — e.g.
+    /// `snapshot.histogram("vf2.search_ns").quantile(0.99)`.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
     }
 
     /// Sum of `total_us` over the named spans — e.g. the Algorithm-1 phase
@@ -179,6 +278,7 @@ impl MetricsSnapshot {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
+            && self.windows.is_empty()
     }
 
     /// Renders the snapshot as JSON (the `metrics.json` schema):
@@ -187,8 +287,9 @@ impl MetricsSnapshot {
     /// {
     ///   "counters": {"cache.hits": 10},
     ///   "gauges": {"monitor.drift": 0.01},
-    ///   "histograms": {"vf2.nodes_per_search": {"count": 1, "sum": 7, "max": 7, "buckets": [[7, 1]]}},
-    ///   "spans": {"batch.fct": {"count": 1, "total_us": 42, "max_us": 42}}
+    ///   "histograms": {"vf2.nodes_per_search": {"count": 1, "sum": 7, "max": 7, "p50": 7, "p90": 7, "p99": 7, "buckets": [[7, 1]]}},
+    ///   "spans": {"batch.fct": {"count": 1, "total_us": 42, "max_us": 42, "p50_us": 42, "p90_us": 42, "p99_us": 42}},
+    ///   "windows": {"vf2.nodes_per_search": {"count": 1, "sum": 7, "max": 7, "p50": 7, "p90": 7, "p99": 7, "buckets": [[7, 1]]}}
     /// }
     /// ```
     pub fn to_json(&self) -> String {
@@ -198,27 +299,21 @@ impl MetricsSnapshot {
         out.push_str("  },\n  \"gauges\": {\n");
         push_entries(&mut out, &self.gauges, |v| json::number(*v));
         out.push_str("  },\n  \"histograms\": {\n");
-        push_entries(&mut out, &self.histograms, |h| {
-            let buckets: Vec<String> = h
-                .buckets
-                .iter()
-                .map(|(upper, n)| format!("[{upper}, {n}]"))
-                .collect();
-            format!(
-                "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": [{}]}}",
-                h.count,
-                h.sum,
-                h.max,
-                buckets.join(", ")
-            )
-        });
+        push_entries(&mut out, &self.histograms, render_histogram);
         out.push_str("  },\n  \"spans\": {\n");
         push_entries(&mut out, &self.spans, |s| {
             format!(
-                "{{\"count\": {}, \"total_us\": {}, \"max_us\": {}}}",
-                s.count, s.total_us, s.max_us
+                "{{\"count\": {}, \"total_us\": {}, \"max_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+                s.count,
+                s.total_us,
+                s.max_us,
+                s.p50_us(),
+                s.p90_us(),
+                s.p99_us()
             )
         });
+        out.push_str("  },\n  \"windows\": {\n");
+        push_entries(&mut out, &self.windows, render_histogram);
         out.push_str("  }\n}\n");
         out
     }
@@ -228,6 +323,34 @@ impl MetricsSnapshot {
         let mut file = std::fs::File::create(path)?;
         file.write_all(self.to_json().as_bytes())
     }
+}
+
+/// Converts a registry [`WindowAggregate`] into the snapshot type.
+fn window_snapshot(w: crate::registry::WindowAggregate) -> HistogramSnapshot {
+    HistogramSnapshot {
+        count: w.count,
+        sum: w.sum,
+        max: w.max,
+        buckets: w.buckets,
+    }
+}
+
+fn render_histogram(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .buckets
+        .iter()
+        .map(|(upper, n)| format!("[{upper}, {n}]"))
+        .collect();
+    format!(
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+        h.count,
+        h.sum,
+        h.max,
+        h.p50(),
+        h.p90(),
+        h.p99(),
+        buckets.join(", ")
+    )
 }
 
 fn push_entries<V>(out: &mut String, map: &BTreeMap<String, V>, render: impl Fn(&V) -> String) {
@@ -296,6 +419,7 @@ mod tests {
                 count: 1,
                 total_us: 30,
                 max_us: 30,
+                ..Default::default()
             },
         );
         snap.spans.insert(
@@ -304,11 +428,88 @@ mod tests {
                 count: 2,
                 total_us: 70,
                 max_us: 50,
+                ..Default::default()
             },
         );
         assert_eq!(
             snap.span_total(&["a", "b", "missing"]),
             Duration::from_micros(100)
         );
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_log2_buckets() {
+        // 100 samples of 10 and 1 sample of 1000:
+        //   p50 falls in the (7,15] bucket holding the 10s,
+        //   p99 still falls there (rank 100 of 101),
+        //   p100 → the 1000 outlier's bucket, clamped to the exact max.
+        let mut h = HistogramSnapshot {
+            count: 101,
+            sum: 100 * 10 + 1000,
+            max: 1000,
+            buckets: vec![(15, 100), (1023, 1)],
+        };
+        let p50 = h.p50();
+        assert!((8..=15).contains(&p50), "p50 = {p50}");
+        let p99 = h.p99();
+        assert!((8..=15).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 1000, "clamped to observed max");
+        // Empty histogram: all quantiles are 0, never NaN or a panic.
+        h.count = 0;
+        h.buckets.clear();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_error_stays_within_one_bucket() {
+        // The documented bound: the estimate lands in the same log₂ bucket
+        // as the true quantile, so it is within 2× of the true value.
+        let mut h = HistogramSnapshot::default();
+        let values: Vec<u64> = (1..=1000).collect();
+        for &v in &values {
+            let upper = if v == 0 {
+                0
+            } else {
+                (1u64 << (64 - v.leading_zeros())) - 1
+            };
+            match h.buckets.iter_mut().find(|(u, _)| *u == upper) {
+                Some((_, n)) => *n += 1,
+                None => h.buckets.push((upper, 1)),
+            }
+            h.count += 1;
+            h.sum += v;
+            h.max = h.max.max(v);
+        }
+        h.buckets.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99] {
+            let exact = values[((q * 1000.0).ceil() as usize - 1).min(999)];
+            let est = h.quantile(q);
+            assert!(
+                est >= exact / 2 && est <= exact.saturating_mul(2),
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_pass_through_since_and_render() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        crate::histogram_record!("test.snap.window", 42);
+        let snap = MetricsSnapshot::capture();
+        crate::set_enabled(false);
+        let w = snap
+            .windows
+            .get("test.snap.window")
+            .expect("window captured");
+        assert!(w.count >= 1);
+        // since() keeps windows (they are already time-scoped).
+        let delta = snap.since(&snap.clone());
+        assert!(delta.windows.contains_key("test.snap.window"));
+        let doc = snap.to_json();
+        json::validate(&doc).expect("snapshot with windows validates");
+        assert!(doc.contains("\"windows\""));
+        assert!(doc.contains("\"p99\""));
     }
 }

@@ -87,6 +87,9 @@ impl Drop for Span {
         if crate::tracing_enabled() {
             trace::push_complete_event(active.name, active.start, dur);
         }
+        if crate::flight::span_capture_enabled() {
+            crate::flight::record_event("SPAN", format!("{} {}µs", active.name, dur.as_micros()));
+        }
     }
 }
 

@@ -1,0 +1,106 @@
+//! Long-running maintenance daemon serving the live observability
+//! endpoints: `/metrics`, `/snapshot`, `/healthz`, `/flight`.
+//!
+//! ```sh
+//! MIDAS_SERVE=127.0.0.1:9898 cargo run -p midas-examples --bin daemon
+//! # then, from another shell:
+//! curl -s http://127.0.0.1:9898/metrics | head
+//! curl -s http://127.0.0.1:9898/healthz
+//! ```
+//!
+//! Bootstraps on a synthetic molecule-like repository and applies one
+//! batch per tick forever (growth most ticks, deletions and novel-family
+//! waves on a schedule, so both minor and major maintenance show up in
+//! the flight recorder). Endpoints are served from inside the process by
+//! `midas-obs`'s std-only HTTP server — nothing to install, nothing to
+//! sidecar.
+//!
+//! Environment knobs (besides the `MIDAS_*` telemetry switches):
+//!
+//! * `MIDAS_SERVE` — bind address (default here: `127.0.0.1:0`, printed
+//!   and written to `MIDAS_ADDR_FILE` so scripts can find the port);
+//! * `MIDAS_ADDR_FILE` — if set, the bound `host:port` is written there;
+//! * `MIDAS_DAEMON_ITERS` — stop after this many batches (default: run
+//!   until killed), used by the CI smoke test;
+//! * `MIDAS_DAEMON_PAUSE_MS` — sleep between batches (default 500).
+
+use midas_core::{Midas, MidasConfig};
+use midas_datagen::updates::{deletion_percent, growth_percent};
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+use midas_obs::TelemetryConfig;
+use std::time::Duration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let kind = DatasetKind::PubchemLike;
+    let dataset = DatasetSpec::new(kind, 200, 41).generate();
+    let config = MidasConfig {
+        budget: midas_catapult::PatternBudget {
+            eta_min: 3,
+            eta_max: 6,
+            gamma: 10,
+        },
+        sup_min: 0.4,
+        max_tree_edges: 3,
+        coarse_clusters: 5,
+        epsilon: 0.01,
+        telemetry: TelemetryConfig {
+            enabled: true,
+            serve: true,
+            ..TelemetryConfig::default()
+        },
+        ..MidasConfig::default()
+    };
+    let mut midas = Midas::bootstrap(dataset.db, config).expect("non-empty database");
+    let addr = midas
+        .obs_addr()
+        .expect("observability server failed to bind");
+    println!("serving observability endpoints on http://{addr}");
+    println!("  GET /metrics   Prometheus text exposition");
+    println!("  GET /snapshot  full metrics snapshot as JSON");
+    println!("  GET /healthz   liveness + drift + last batch");
+    println!("  GET /flight    flight-recorder dump (recent batches + events)");
+    if let Some(path) = std::env::var_os("MIDAS_ADDR_FILE") {
+        std::fs::write(&path, addr.to_string()).expect("write MIDAS_ADDR_FILE");
+    }
+
+    let iters = env_u64("MIDAS_DAEMON_ITERS", 0);
+    let pause = Duration::from_millis(env_u64("MIDAS_DAEMON_PAUSE_MS", 500));
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let update = match tick % 5 {
+            0 => midas_datagen::novel_family_batch(
+                if tick.is_multiple_of(2) {
+                    MotifKind::BoronicEster
+                } else {
+                    MotifKind::Phosphate
+                },
+                midas.db().len() / 5,
+                1_000 + tick,
+            ),
+            3 => deletion_percent(midas.db(), 4.0, 1_000 + tick),
+            _ => growth_percent(&kind.params(), midas.db(), 4.0, 1_000 + tick),
+        };
+        let report = midas.apply_batch(update);
+        println!(
+            "batch {tick:>4}: {:?} drift {:.4}, {} candidates, {} swaps, PMT {:?}",
+            report.kind,
+            report.distance,
+            report.candidates_generated,
+            report.swaps,
+            report.pattern_maintenance_time
+        );
+        if iters > 0 && tick >= iters {
+            break;
+        }
+        std::thread::sleep(pause);
+    }
+    println!("done after {tick} batches; endpoints stay up until exit");
+}

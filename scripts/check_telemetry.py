@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
 """CI gate for the telemetry export schema.
 
-Runs after an example batch with telemetry enabled; validates that
-`metrics.json` and `trace.json` parse as JSON and contain the keys the
-documented schema promises. Fails loudly on drift so exporter changes are
-deliberate.
+Two modes:
 
-Usage: check_telemetry.py <metrics.json> <trace.json>
+* Batch-profile gate — runs after an example batch with telemetry
+  enabled; validates that `metrics.json` and `trace.json` parse as JSON
+  and contain the keys the documented schema promises.
+
+      check_telemetry.py <metrics.json> <trace.json>
+
+* Live-endpoint gate — runs after the daemon smoke step; validates the
+  saved responses of `GET /metrics` (Prometheus text exposition 0.0.4),
+  `GET /healthz` and `GET /flight`.
+
+      check_telemetry.py --prom <metrics.txt> [--healthz <healthz.json>] [--flight <flight.json>]
+
+Fails loudly on drift so exporter changes are deliberate.
 """
 
 import json
+import re
 import sys
 
 REQUIRED_COUNTERS = ["pmt_us", "cache.hits", "vf2.nodes", "vf2.searches"]
@@ -17,6 +27,20 @@ REQUIRED_SECTIONS = ["counters", "gauges", "histograms", "spans"]
 REQUIRED_SPANS = ["batch.ingest", "batch.fct", "batch.cluster", "batch.index"]
 SPAN_FIELDS = ["count", "total_us", "max_us"]
 EVENT_FIELDS = ["name", "cat", "ph", "ts", "dur", "pid", "tid"]
+
+# Prometheus exposition format 0.0.4.
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"$')
+REQUIRED_FAMILIES = ["midas_pmt_us", "midas_vf2_search_ns"]
+BATCH_FIELDS = [
+    "seq", "kind", "distance", "pmt_us", "pgt_us",
+    "inserted", "deleted", "candidates", "swaps", "unix_ms",
+]
 
 
 def fail(msg):
@@ -74,11 +98,124 @@ def check_trace(path):
     print(f"{path}: ok ({len(events)} events, {len(names)} distinct spans)")
 
 
+def check_prom(path):
+    """Validates a saved `GET /metrics` body as exposition format 0.0.4."""
+    with open(path) as f:
+        text = f.read()
+    typed = set()
+    families = set()
+    quantile_series = 0
+    samples = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                fail(f"{path}:{lineno}: malformed TYPE comment: {line!r}")
+            name, kind = parts[2], parts[3]
+            if not METRIC_NAME.match(name):
+                fail(f"{path}:{lineno}: invalid family name {name!r}")
+            if kind not in ("counter", "gauge", "summary", "histogram", "untyped"):
+                fail(f"{path}:{lineno}: unknown metric type {kind!r}")
+            typed.add(name)
+            continue
+        if line.startswith("#"):
+            continue  # HELP or free comment
+        m = SAMPLE_LINE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: unparsable sample line: {line!r}")
+        name = m.group("name")
+        if not METRIC_NAME.match(name):
+            fail(f"{path}:{lineno}: invalid metric name {name!r}")
+        labels = m.group("labels")
+        if labels:
+            for pair in labels.split(","):
+                if not LABEL_PAIR.match(pair):
+                    fail(f"{path}:{lineno}: malformed label pair {pair!r}")
+            if 'quantile="' in labels:
+                quantile_series += 1
+        try:
+            float(m.group("value"))
+        except ValueError:
+            fail(f"{path}:{lineno}: non-numeric sample value {m.group('value')!r}")
+        # A summary's _sum/_count/quantile series share the family TYPE.
+        family = re.sub(r"_(sum|count|max)$", "", name)
+        if name not in typed and family not in typed:
+            fail(f"{path}:{lineno}: sample {name!r} has no preceding # TYPE")
+        families.add(family)
+        samples += 1
+    if samples == 0:
+        fail(f"{path}: no samples at all")
+    for family in REQUIRED_FAMILIES:
+        if family not in families:
+            fail(f"{path}: required family {family!r} missing")
+    if quantile_series == 0:
+        fail(f"{path}: no quantile-labeled series (summaries missing)")
+    print(f"{path}: ok ({samples} samples, {len(families)} families, "
+          f"{quantile_series} quantile series)")
+
+
+def check_healthz(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("status") != "ok":
+        fail(f"{path}: status is {doc.get('status')!r}, expected 'ok'")
+    for field in ["uptime_s", "drift", "batches"]:
+        if not isinstance(doc.get(field), (int, float)):
+            fail(f"{path}: field {field!r} missing or non-numeric")
+    if not isinstance(doc.get("telemetry_enabled"), bool):
+        fail(f"{path}: field 'telemetry_enabled' missing")
+    if doc["batches"] < 1:
+        fail(f"{path}: no batches recorded; daemon did no work")
+    print(f"{path}: ok ({doc['batches']} batches, drift {doc['drift']})")
+
+
+def check_flight(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ["total_batches", "capacity"]:
+        if not isinstance(doc.get(field), int):
+            fail(f"{path}: field {field!r} missing")
+    batches = doc.get("batches")
+    if not isinstance(batches, list) or not batches:
+        fail(f"{path}: batches missing or empty")
+    if len(batches) > doc["capacity"]:
+        fail(f"{path}: {len(batches)} summaries exceed capacity {doc['capacity']}")
+    for batch in batches:
+        for field in BATCH_FIELDS:
+            if field not in batch:
+                fail(f"{path}: batch summary missing field {field!r}: {batch}")
+    seqs = [b["seq"] for b in batches]
+    if seqs != sorted(seqs):
+        fail(f"{path}: batch summaries out of order: {seqs}")
+    if not isinstance(doc.get("events"), list):
+        fail(f"{path}: events missing")
+    print(f"{path}: ok ({len(batches)}/{doc['capacity']} summaries, "
+          f"{doc['total_batches']} total batches)")
+
+
 def main():
-    if len(sys.argv) != 3:
-        fail("usage: check_telemetry.py <metrics.json> <trace.json>")
-    check_metrics(sys.argv[1])
-    check_trace(sys.argv[2])
+    args = sys.argv[1:]
+    if "--prom" in args:
+        opts = dict(zip(args[::2], args[1::2]))
+        if "--prom" not in opts:
+            fail("--prom requires a file argument")
+        check_prom(opts["--prom"])
+        if "--healthz" in opts:
+            check_healthz(opts["--healthz"])
+        if "--flight" in opts:
+            check_flight(opts["--flight"])
+        print("live endpoint check passed")
+        return
+    if len(args) != 2:
+        fail(
+            "usage: check_telemetry.py <metrics.json> <trace.json>\n"
+            "   or: check_telemetry.py --prom <metrics.txt> "
+            "[--healthz <healthz.json>] [--flight <flight.json>]"
+        )
+    check_metrics(args[0])
+    check_trace(args[1])
     print("telemetry schema check passed")
 
 

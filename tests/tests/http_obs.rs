@@ -1,0 +1,129 @@
+//! Live observability, end to end: a `Midas` instance bootstrapped with
+//! `serve` on must answer `/metrics` (with quantile series), `/snapshot`,
+//! `/healthz` and `/flight` over plain HTTP, and the flight recorder must
+//! retain exactly its configured capacity after wraparound.
+//!
+//! The telemetry switch, the flight recorder and `MIDAS_SERVE` are all
+//! process-global, so every test here holds a shared lock and restores
+//! the defaults before releasing it.
+
+use midas_core::framework::Midas;
+use midas_graph::{BatchUpdate, GraphDb, LabeledGraph};
+use midas_obs::{json, TelemetryConfig};
+use midas_tests::{path, test_config};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn seed_db() -> GraphDb {
+    GraphDb::from_graphs((0..24).map(|i| path(&[0, 1, 2, 0, (i % 3) as u32])))
+}
+
+fn wave(seed: u32) -> Vec<LabeledGraph> {
+    (0..4)
+        .map(|i| path(&[seed % 5, (i + seed) % 5, 2]))
+        .collect()
+}
+
+/// Minimal HTTP/1.1 GET over a std TcpStream: returns (status, body).
+fn http_get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to obs server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: midas\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn served_endpoints_answer_with_quantiles_and_bounded_flight_history() {
+    let _g = exclusive();
+    // The documented deployment path: MIDAS_SERVE names the bind address
+    // and (via from_env) flips `serve` + `enabled` on.
+    std::env::set_var("MIDAS_SERVE", "127.0.0.1:0");
+    midas_obs::flight::clear();
+    midas_obs::flight::set_capacity(8);
+
+    let mut cfg = test_config(7);
+    cfg.telemetry.enabled = true;
+    cfg.telemetry.flight_capacity = 8;
+    let mut midas = Midas::bootstrap(seed_db(), cfg).unwrap();
+    let addr = midas.obs_addr().expect("server bound via MIDAS_SERVE");
+
+    // More batches than the flight recorder holds, to force wraparound.
+    for i in 0..10u32 {
+        midas.apply_batch(BatchUpdate::insert_only(wave(i)));
+    }
+
+    // /flight — valid JSON, exactly `capacity` summaries survive, and they
+    // are the *newest* ones (seq 3..=10 after 10 batches into a ring of 8).
+    let (status, body) = http_get(addr, "/flight");
+    assert_eq!(status, 200);
+    json::validate(&body).expect("flight dump is valid JSON");
+    assert_eq!(body.matches("\"seq\": ").count(), 8, "ring keeps 8 of 10");
+    assert!(!body.contains("\"seq\": 2,"), "oldest summaries evicted");
+    assert!(body.contains("\"seq\": 10,"), "newest summary retained");
+    assert!(body.contains("\"total_batches\": 10"));
+
+    // /metrics — Prometheus text exposition with quantile-labeled series
+    // for the VF2 latency histogram fed by the isomorphism kernel.
+    let (status, body) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        body.contains("midas_vf2_search_ns{quantile=\"0.99\"}"),
+        "p99 VF2 latency series missing:\n{body}"
+    );
+    assert!(body.contains("# TYPE midas_vf2_search_ns summary"));
+    assert!(body.contains("midas_pmt_us "), "pmt counter series missing");
+
+    // /healthz — drift + batch progress as JSON.
+    let (status, body) = http_get(addr, "/healthz");
+    assert_eq!(status, 200);
+    json::validate(&body).expect("healthz is valid JSON");
+    assert!(body.contains("\"status\": \"ok\""));
+    assert!(body.contains("\"batches\": 10"));
+
+    // /snapshot — the full registry snapshot, also valid JSON.
+    let (status, body) = http_get(addr, "/snapshot");
+    assert_eq!(status, 200);
+    json::validate(&body).expect("snapshot is valid JSON");
+    assert!(body.contains("\"counters\""));
+
+    // Unknown routes 404 without killing the worker.
+    let (status, _) = http_get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = http_get(addr, "/metrics");
+    assert_eq!(status, 200, "server survives a 404");
+
+    std::env::remove_var("MIDAS_SERVE");
+    midas_obs::flight::set_capacity(midas_obs::flight::DEFAULT_CAPACITY);
+    midas_obs::flight::clear();
+    TelemetryConfig::default().activate();
+}
+
+#[test]
+fn serve_off_binds_nothing() {
+    let _g = exclusive();
+    std::env::remove_var("MIDAS_SERVE");
+    let midas = Midas::bootstrap(seed_db(), test_config(7)).unwrap();
+    assert!(midas.obs_addr().is_none());
+    TelemetryConfig::default().activate();
+}
