@@ -33,7 +33,7 @@ use crate::swap::{multi_scan_swap, SwapParams};
 use midas_catapult::score::SetQuality;
 use midas_catapult::{select_patterns, WeightedCsg};
 use midas_cluster::{ClusterSet, FeatureSpace};
-use midas_graph::{BatchUpdate, GraphDb, GraphId, LabeledGraph, MatchKernel};
+use midas_graph::{BatchUpdate, GraphDb, GraphId, KernelError, LabeledGraph, MatchKernel};
 use midas_index::{FctIndex, IfeIndex, PatternId};
 use midas_mining::incremental::FctState;
 use midas_mining::TreeKey;
@@ -80,6 +80,11 @@ pub struct MaintenanceReport {
     /// phase spans, `pmt_us`/`pgt_us`, VF2 and cache counters, exec
     /// fan-out accounting.
     pub telemetry: MetricsSnapshot,
+    /// A worker panic contained during this batch (e.g. an injected
+    /// `MIDAS_FAULT`): the failing phase was abandoned, later
+    /// pattern-maintenance phases were skipped, and the process kept
+    /// running. `None` on a healthy batch.
+    pub error: Option<KernelError>,
 }
 
 impl MaintenanceReport {
@@ -305,6 +310,13 @@ impl Midas {
         let psi_after = self.monitor.distribution();
         drop(ingest_span);
 
+        // Every phase below runs fan-outs through the kernel; a worker panic
+        // (including an injected `MIDAS_FAULT`) is contained here — the
+        // failing phase is abandoned, later pattern-maintenance phases are
+        // skipped, and the report carries the error instead of the process
+        // aborting.
+        let mut batch_error: Option<KernelError> = None;
+
         // FCT maintenance (line 5).
         let fct_span = midas_obs::span!("batch.fct");
         let fct_start = Instant::now();
@@ -312,30 +324,41 @@ impl Midas {
             .iter()
             .map(|(id, g)| (*id, g.as_ref()))
             .collect();
-        self.fct_state
-            .apply_batch(&self.db, &inserted, &deleted_refs);
+        contain("batch.fct", &mut batch_error, || {
+            self.fct_state
+                .apply_batch(&self.db, &inserted, &deleted_refs);
+        });
         let fct_time = fct_start.elapsed();
         drop(fct_span);
 
         // Cluster + CSG maintenance (lines 1–2, 6–7).
         let cluster_span = midas_obs::span!("batch.cluster");
         let cluster_start = Instant::now();
-        for (id, g) in &deleted_graphs {
-            self.clusters.remove(*id, g);
-        }
-        for &id in &inserted {
-            let graph = self.db.get(id).expect("inserted id").clone();
-            self.clusters
-                .assign(&self.db, &self.fct_state.lattice, id, &graph);
-        }
+        contain("batch.cluster", &mut batch_error, || {
+            for (id, g) in &deleted_graphs {
+                self.clusters.remove(*id, g);
+            }
+            for &id in &inserted {
+                let graph = self.db.get(id).expect("inserted id").clone();
+                self.clusters
+                    .assign(&self.db, &self.fct_state.lattice, id, &graph);
+            }
+        });
         let clustering_time = cluster_start.elapsed();
         drop(cluster_span);
 
         // Index maintenance (line 12 — we keep indices fresh every batch so
-        // minor modifications leave them consistent too).
+        // minor modifications leave them consistent too). The kernel passes
+        // here are the fallible `try_*` fan-outs: a contained task panic
+        // surfaces as a `KernelError` with the index left untouched.
         let index_span = midas_obs::span!("batch.index");
         let index_start = Instant::now();
-        self.maintain_indices(&inserted, &deleted_ids);
+        if let Some(Err(e)) = contain("batch.index", &mut batch_error, || {
+            self.maintain_indices(&inserted, &deleted_ids)
+        }) {
+            record_kernel_error(&e);
+            batch_error = Some(e);
+        }
         let index_time = index_start.elapsed();
         drop(index_span);
 
@@ -353,82 +376,84 @@ impl Midas {
         let mut swap_time = Duration::ZERO;
         let mut candidates_generated = 0;
         let mut swaps = 0;
-        if kind == Modification::Major && !self.patterns.is_empty() {
-            // Candidate generation from dirty CSGs (§5, lines 9–10).
-            let candidates_span = midas_obs::span!("batch.candidates");
-            let cand_start = Instant::now();
-            let dirty = self.clusters.take_dirty();
-            let sample = self.sample();
-            // The swap step mutates the indices' pattern columns while the
-            // scoring context reads feature rows; a snapshot keeps borrows
-            // disjoint (feature rows do not change during swapping).
-            let fct_snapshot = self.fct_index.clone();
-            let ife_snapshot = self.ife_index.clone();
-            let ctx = ScovContext {
-                fct: &fct_snapshot,
-                ife: &ife_snapshot,
-                db: &self.db,
-                sample: &sample,
-                catalog: &self.fct_state.edges,
-                kernel: Some(&self.kernel),
-            };
-            let csgs: Vec<WeightedCsg> = dirty
-                .iter()
-                .filter_map(|&cid| self.clusters.get(cid))
-                .map(|c| WeightedCsg::build(c.csg(), &self.fct_state.edges, self.db.len()))
-                .collect();
-            let state = coverage_state(&self.patterns, &ctx);
-            let params = GenerationParams {
-                budget: self.config.budget,
-                walks: self.config.walks,
-                walk_length: self.config.walk_length,
-                seeds_per_size: self.config.seeds_per_size,
-                kappa: self.config.kappa,
-            };
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ (self.batch_counter << 16));
-            let candidates = generate_promising_candidates(
-                &csgs,
-                &self.patterns,
-                &ctx,
-                &state,
-                &params,
-                &mut rng,
-            );
-            candidates_generated = candidates.len();
-            candidate_time = cand_start.elapsed();
-            drop(candidates_span);
-            midas_obs::counter_add!("batch.candidates_generated", candidates_generated as u64);
+        if kind == Modification::Major && !self.patterns.is_empty() && batch_error.is_none() {
+            contain("batch.maintenance", &mut batch_error, || {
+                // Candidate generation from dirty CSGs (§5, lines 9–10).
+                let candidates_span = midas_obs::span!("batch.candidates");
+                let cand_start = Instant::now();
+                let dirty = self.clusters.take_dirty();
+                let sample = self.sample();
+                // The swap step mutates the indices' pattern columns while the
+                // scoring context reads feature rows; a snapshot keeps borrows
+                // disjoint (feature rows do not change during swapping).
+                let fct_snapshot = self.fct_index.clone();
+                let ife_snapshot = self.ife_index.clone();
+                let ctx = ScovContext {
+                    fct: &fct_snapshot,
+                    ife: &ife_snapshot,
+                    db: &self.db,
+                    sample: &sample,
+                    catalog: &self.fct_state.edges,
+                    kernel: Some(&self.kernel),
+                };
+                let csgs: Vec<WeightedCsg> = dirty
+                    .iter()
+                    .filter_map(|&cid| self.clusters.get(cid))
+                    .map(|c| WeightedCsg::build(c.csg(), &self.fct_state.edges, self.db.len()))
+                    .collect();
+                let state = coverage_state(&self.patterns, &ctx);
+                let params = GenerationParams {
+                    budget: self.config.budget,
+                    walks: self.config.walks,
+                    walk_length: self.config.walk_length,
+                    seeds_per_size: self.config.seeds_per_size,
+                    kappa: self.config.kappa,
+                };
+                let mut rng = StdRng::seed_from_u64(self.config.seed ^ (self.batch_counter << 16));
+                let candidates = generate_promising_candidates(
+                    &csgs,
+                    &self.patterns,
+                    &ctx,
+                    &state,
+                    &params,
+                    &mut rng,
+                );
+                candidates_generated = candidates.len();
+                candidate_time = cand_start.elapsed();
+                drop(candidates_span);
+                midas_obs::counter_add!("batch.candidates_generated", candidates_generated as u64);
 
-            // Swapping (§6).
-            let swap_span = midas_obs::span!("batch.swap");
-            let swap_start = Instant::now();
-            swaps = match strategy {
-                SwapStrategy::MultiScan => {
-                    let outcome = multi_scan_swap(
-                        &mut self.patterns,
-                        candidates,
-                        &ctx,
-                        &SwapParams {
-                            kappa: self.config.kappa,
-                            lambda: self.config.lambda,
-                            ks_alpha: self.config.ks_alpha,
-                            ..SwapParams::default()
-                        },
-                        &mut self.fct_index,
-                        &mut self.ife_index,
-                    );
-                    outcome.swaps
-                }
-                SwapStrategy::Random => self.random_swap(candidates, &mut rng),
-            };
-            swap_time = swap_start.elapsed();
-            drop(swap_span);
-            midas_obs::counter_add!("batch.swaps", swaps as u64);
-            midas_obs::obs_info!(
-                "core::framework",
-                "batch {}: {candidates_generated} candidates, {swaps} swaps",
-                self.batch_counter
-            );
+                // Swapping (§6).
+                let swap_span = midas_obs::span!("batch.swap");
+                let swap_start = Instant::now();
+                swaps = match strategy {
+                    SwapStrategy::MultiScan => {
+                        let outcome = multi_scan_swap(
+                            &mut self.patterns,
+                            candidates,
+                            &ctx,
+                            &SwapParams {
+                                kappa: self.config.kappa,
+                                lambda: self.config.lambda,
+                                ks_alpha: self.config.ks_alpha,
+                                ..SwapParams::default()
+                            },
+                            &mut self.fct_index,
+                            &mut self.ife_index,
+                        );
+                        outcome.swaps
+                    }
+                    SwapStrategy::Random => self.random_swap(candidates, &mut rng),
+                };
+                swap_time = swap_start.elapsed();
+                drop(swap_span);
+                midas_obs::counter_add!("batch.swaps", swaps as u64);
+                midas_obs::obs_info!(
+                    "core::framework",
+                    "batch {}: {candidates_generated} candidates, {swaps} swaps",
+                    self.batch_counter
+                );
+            });
         }
         // On a minor modification the dirty flags are deliberately *kept*:
         // clusters stay marked as modified until the next major round
@@ -492,6 +517,7 @@ impl Midas {
             candidates_generated,
             swaps,
             telemetry,
+            error: batch_error,
         }
     }
 
@@ -522,7 +548,15 @@ impl Midas {
     /// and feature rows against the current FCT ∪ frequent-edge set. The
     /// embedding cache is invalidated per touched graph first, then the
     /// inserted TG columns are filled in one parallel kernel pass.
-    fn maintain_indices(&mut self, inserted: &[GraphId], deleted: &[GraphId]) {
+    ///
+    /// Runs every kernel fan-out through the fault-isolating `try_*` twins:
+    /// a contained worker panic returns the [`KernelError`] with the failed
+    /// kernel pass never applied to the index.
+    fn maintain_indices(
+        &mut self,
+        inserted: &[GraphId],
+        deleted: &[GraphId],
+    ) -> Result<(), KernelError> {
         for &id in deleted.iter().chain(inserted) {
             self.kernel.invalidate_graph(id);
         }
@@ -539,7 +573,7 @@ impl Midas {
             .map(|(id, g)| (*id, g.as_ref()))
             .collect();
         self.fct_index
-            .add_graphs_kernel(&self.kernel, &inserted_refs);
+            .try_add_graphs_kernel(&self.kernel, &inserted_refs)?;
         for (id, graph) in &inserted_graphs {
             self.ife_index.add_graph(*id, graph);
         }
@@ -570,8 +604,12 @@ impl Midas {
         let graph_refs: Vec<(GraphId, &LabeledGraph)> =
             self.db.iter().map(|(id, g)| (id, g.as_ref())).collect();
         let pattern_refs: Vec<(PatternId, &LabeledGraph)> = self.patterns.iter().collect();
-        self.fct_index
-            .refresh_features_kernel(&self.kernel, &target, &graph_refs, &pattern_refs);
+        self.fct_index.try_refresh_features_kernel(
+            &self.kernel,
+            &target,
+            &graph_refs,
+            &pattern_refs,
+        )?;
         let infrequent: BTreeSet<midas_graph::EdgeLabel> = self
             .fct_state
             .edges
@@ -584,6 +622,40 @@ impl Midas {
             graph_refs.iter().copied(),
             pattern_refs.iter().copied(),
         );
+        Ok(())
+    }
+}
+
+/// Logs a contained worker failure to telemetry and the flight recorder.
+fn record_kernel_error(e: &KernelError) {
+    midas_obs::counter_add!("batch.kernel_errors", 1);
+    midas_obs::obs_warn!("core::framework", "contained worker failure: {e}");
+    midas_obs::flight::record_event("kernel_error", e.to_string());
+}
+
+/// Runs one maintenance phase under a panic backstop. A panic that escapes
+/// an infallible fan-out (or any phase-internal bug) is converted into a
+/// phase-level [`KernelError`] instead of unwinding out of `apply_batch`;
+/// once a batch has failed, later phases are skipped (`None`).
+fn contain<R>(
+    phase: &'static str,
+    error: &mut Option<KernelError>,
+    f: impl FnOnce() -> R,
+) -> Option<R> {
+    if error.is_some() {
+        return None;
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(result) => Some(result),
+        Err(payload) => {
+            let e = KernelError {
+                task: KernelError::PHASE,
+                message: format!("{phase}: {}", midas_graph::exec::panic_message(payload)),
+            };
+            record_kernel_error(&e);
+            *error = Some(e);
+            None
+        }
     }
 }
 

@@ -28,14 +28,21 @@ impl GraphletMonitor {
         monitor
     }
 
-    /// Registers an inserted graph.
+    /// Registers an inserted graph. Re-adding an already-tracked `id`
+    /// *replaces* its contribution (the displaced counts are subtracted
+    /// first), so the totals always equal the sum over `per_graph` — the
+    /// invariant `build(db) == incremental` that the oracle harness checks.
     pub fn add_graph(&mut self, id: GraphId, graph: &LabeledGraph) {
         let counts = count_graphlets(graph);
+        if let Some(displaced) = self.per_graph.insert(id, counts) {
+            self.total.sub(&displaced);
+        }
         self.total.add(&counts);
-        self.per_graph.insert(id, counts);
     }
 
-    /// Unregisters a deleted graph.
+    /// Unregisters a deleted graph. An id that was never added (or was
+    /// already removed) is a no-op: totals never underflow and
+    /// [`GraphletMonitor::distribution`] stays a valid distribution.
     pub fn remove_graph(&mut self, id: GraphId) {
         if let Some(counts) = self.per_graph.remove(&id) {
             self.total.sub(&counts);
@@ -145,6 +152,45 @@ mod tests {
         // Removing an unknown id is a no-op.
         monitor.remove_graph(GraphId(999));
         assert_eq!(*monitor.totals(), before);
+    }
+
+    #[test]
+    fn readding_an_id_replaces_instead_of_double_counting() {
+        // Regression: `add_graph` used to add the new counts without
+        // subtracting the displaced entry, so re-registering an id (e.g. a
+        // deletion batch whose id the db reuses) double-counted the totals
+        // forever.
+        let mut monitor = GraphletMonitor::default();
+        let id = GraphId(7);
+        monitor.add_graph(id, &clique4());
+        monitor.add_graph(id, &path(5));
+        let mut fresh = GraphletMonitor::default();
+        fresh.add_graph(id, &path(5));
+        assert_eq!(monitor.totals(), fresh.totals(), "re-add must replace");
+        assert_eq!(monitor.len(), 1);
+        monitor.remove_graph(id);
+        assert_eq!(*monitor.totals(), GraphletCounts::default());
+    }
+
+    #[test]
+    fn removing_a_never_added_id_keeps_distribution_valid() {
+        // Regression: totals must not underflow/wrap and the distribution
+        // must stay a probability vector after a bogus removal.
+        let mut monitor = GraphletMonitor::default();
+        let id = GraphId(0);
+        monitor.add_graph(id, &clique4());
+        let before = *monitor.totals();
+        monitor.remove_graph(GraphId(12345));
+        monitor.remove_graph(GraphId(12345)); // twice: still a no-op
+        assert_eq!(*monitor.totals(), before);
+        let dist = monitor.distribution();
+        let mass: f64 = dist.as_array().iter().sum();
+        assert!(dist.as_array().iter().all(|&f| (0.0..=1.0).contains(&f)));
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // Double-remove of a real id: second call is a no-op too.
+        monitor.remove_graph(id);
+        monitor.remove_graph(id);
+        assert_eq!(*monitor.totals(), GraphletCounts::default());
     }
 
     #[test]

@@ -27,8 +27,123 @@
 //! `MIDAS_THREADS` environment variable (> 0), then
 //! `std::thread::available_parallelism()`. Work is never split wider than
 //! the item count, and `1` means "run inline on the caller's thread".
+//!
+//! # Fault isolation
+//!
+//! [`try_par_map`] / [`try_par_map_indexed`] run every task under
+//! [`std::panic::catch_unwind`]: a panicking task poisons only its own
+//! result slot and the whole fan-out returns a [`KernelError`] naming the
+//! first failed task, instead of aborting the process or wedging the
+//! caller. The `MIDAS_FAULT=task:N` environment variable (or
+//! [`set_fault_for_tests`]) arms a deterministic injector that panics the
+//! Nth task executed through this module — the hook the oracle harness and
+//! CI use to prove containment end to end.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// A contained task failure surfaced by the fallible fan-outs
+/// ([`try_par_map`] and friends) instead of an abort or a wedged scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError {
+    /// Index of the first failed work item within the fan-out.
+    pub task: usize,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl KernelError {
+    /// Sentinel task index for failures contained at *phase* level (a panic
+    /// that escaped an infallible fan-out and was caught by the framework's
+    /// backstop) rather than in a specific fan-out slot.
+    pub const PHASE: usize = usize::MAX;
+}
+
+impl std::fmt::Display for KernelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.task == Self::PHASE {
+            write!(f, "kernel phase panicked: {}", self.message)
+        } else {
+            write!(f, "kernel task {} panicked: {}", self.task, self.message)
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+/// Sentinel for "no programmatic fault override": fall back to the env var.
+const FAULT_FROM_ENV: i64 = i64::MIN;
+
+/// Programmatic override of the fault target (tests); `FAULT_FROM_ENV`
+/// defers to `MIDAS_FAULT`, any other negative value disables injection.
+static FAULT_OVERRIDE: AtomicI64 = AtomicI64::new(FAULT_FROM_ENV);
+
+/// Global task ordinal; only advanced while a fault target is armed, so the
+/// "Nth task" is deterministic for a fixed workload.
+static FAULT_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// `MIDAS_FAULT=task:N`, parsed once.
+fn env_fault_target() -> Option<u64> {
+    static PARSED: OnceLock<Option<u64>> = OnceLock::new();
+    *PARSED.get_or_init(|| {
+        std::env::var("MIDAS_FAULT")
+            .ok()
+            .as_deref()
+            .and_then(|s| s.trim().strip_prefix("task:"))
+            .and_then(|n| n.trim().parse::<u64>().ok())
+    })
+}
+
+fn fault_target() -> Option<u64> {
+    match FAULT_OVERRIDE.load(Ordering::Relaxed) {
+        FAULT_FROM_ENV => env_fault_target(),
+        n if n >= 0 => Some(n as u64),
+        _ => None,
+    }
+}
+
+/// Arms (`Some(n)`: panic the `n`-th task from now) or disarms (`None`)
+/// the fault injector, overriding `MIDAS_FAULT`, and resets the task
+/// counter. Process-global — callers must serialize tests around it.
+pub fn set_fault_for_tests(target: Option<u64>) {
+    FAULT_OVERRIDE.store(
+        match target {
+            Some(n) => n as i64,
+            None => -1,
+        },
+        Ordering::Relaxed,
+    );
+    FAULT_COUNTER.store(0, Ordering::Relaxed);
+}
+
+/// The per-task injection point: panics on the armed task ordinal.
+#[inline]
+fn fault_point() {
+    if let Some(target) = fault_target() {
+        let ordinal = FAULT_COUNTER.fetch_add(1, Ordering::Relaxed);
+        if ordinal == target {
+            midas_obs::flight::record_event(
+                "fault_injected",
+                format!("MIDAS_FAULT fired at task {target}"),
+            );
+            panic!("injected fault at task {target} (MIDAS_FAULT)");
+        }
+    }
+}
+
+/// Stringifies a `catch_unwind` payload (also used by phase-level
+/// containment backstops in `midas-core`).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Resolves the number of worker threads to use for `items` work items.
 ///
@@ -77,7 +192,14 @@ where
 {
     let threads = thread_count(threads, items.len());
     if threads <= 1 {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                fault_point();
+                f(i, x)
+            })
+            .collect();
     }
     midas_obs::counter_add!("exec.fanouts", 1);
     midas_obs::counter_add!("exec.tasks", items.len() as u64);
@@ -95,7 +217,80 @@ where
                 let _busy = midas_obs::span!("exec.worker");
                 let base = chunk_idx * chunk_len;
                 for (offset, (item, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                    fault_point();
                     *slot = Some(f(base + offset, item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Fallible [`par_map`]: every task runs under `catch_unwind`, a panic
+/// poisons only its own slot, and the call returns the first failure as a
+/// [`KernelError`] instead of unwinding across the scope join.
+pub fn try_par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Result<Vec<U>, KernelError>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    try_par_map_indexed(threads, items, |_, item| f(item))
+}
+
+/// Fallible [`par_map_indexed`]. Remaining healthy tasks still run to
+/// completion (the scope joins every worker); only their results are
+/// discarded when an error is reported.
+pub fn try_par_map_indexed<T, U, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<U>, KernelError>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let run_task = |i: usize, item: &T| -> Result<U, KernelError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            fault_point();
+            f(i, item)
+        }))
+        .map_err(|payload| {
+            midas_obs::counter_add!("exec.task_panics", 1);
+            KernelError {
+                task: i,
+                message: panic_message(payload),
+            }
+        })
+    };
+    let threads = thread_count(threads, items.len());
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| run_task(i, x))
+            .collect();
+    }
+    midas_obs::counter_add!("exec.fanouts", 1);
+    midas_obs::counter_add!("exec.tasks", items.len() as u64);
+    let mut out: Vec<Option<Result<U, KernelError>>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let chunk_len = items.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (chunk_idx, (in_chunk, out_chunk)) in items
+            .chunks(chunk_len)
+            .zip(out.chunks_mut(chunk_len))
+            .enumerate()
+        {
+            let run_task = &run_task;
+            scope.spawn(move || {
+                let _busy = midas_obs::span!("exec.worker");
+                let base = chunk_idx * chunk_len;
+                for (offset, (item, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                    *slot = Some(run_task(base + offset, item));
                 }
             });
         }
@@ -178,6 +373,54 @@ mod tests {
         let none: Vec<u32> = Vec::new();
         assert!(par_map(8, &none, |&x| x).is_empty());
         assert!(par_chunks(8, &none, |_, c: &[u32]| c.len()).is_empty());
+    }
+
+    #[test]
+    fn try_par_map_matches_par_map_on_healthy_tasks() {
+        let items: Vec<u64> = (0..500).collect();
+        for threads in [1, 2, 8] {
+            let out = try_par_map(threads, &items, |&x| x * 3).expect("no faults");
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_par_map_contains_a_panicking_task() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 4] {
+            let err = try_par_map(threads, &items, |&x| {
+                if x == 37 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+            .expect_err("task 37 panics");
+            assert_eq!(err.task, 37);
+            assert!(err.message.contains("boom at 37"), "{err}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_indexed_reports_first_failed_index() {
+        let items = vec![(); 64];
+        let err = try_par_map_indexed(2, &items, |i, ()| {
+            if i % 50 == 3 {
+                panic!("bad slot");
+            }
+            i
+        })
+        .expect_err("slot 3 and 53 panic");
+        assert_eq!(err.task, 3, "first error in slot order wins");
+        assert!(err.to_string().contains("task 3"));
+    }
+
+    #[test]
+    fn kernel_error_displays_task_and_message() {
+        let e = KernelError {
+            task: 9,
+            message: "xyz".into(),
+        };
+        assert_eq!(e.to_string(), "kernel task 9 panicked: xyz");
     }
 
     #[test]

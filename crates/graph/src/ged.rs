@@ -38,13 +38,22 @@ fn sorted_multiset_intersection<T: Ord>(a: &[T], b: &[T]) -> usize {
 /// unavoidable relabels, and the edge term counts the unavoidable edge-count
 /// difference; the two cost pools are disjoint.
 pub fn ged_label_lower_bound(a: &LabeledGraph, b: &LabeledGraph) -> u32 {
+    let (v, e) = ged_label_parts(a, b);
+    v + e
+}
+
+/// The two disjoint cost pools of `GED_l`, separately: the vertex part
+/// (unavoidable vertex insert/delete/relabel operations) and the edge part
+/// (the unavoidable edge-count difference). [`ged_tight_lower_bound`]
+/// tightens the vertex part only, so it needs them apart.
+pub fn ged_label_parts(a: &LabeledGraph, b: &LabeledGraph) -> (u32, u32) {
     let (na, nb) = (a.vertex_count(), b.vertex_count());
     let la = a.sorted_labels();
     let lb = b.sorted_labels();
     let common = sorted_multiset_intersection(&la, &lb);
     let vertex_part = na.abs_diff(nb) + na.min(nb) - common;
     let edge_part = a.edge_count().abs_diff(b.edge_count());
-    (vertex_part + edge_part) as u32
+    (vertex_part as u32, edge_part as u32)
 }
 
 /// Number of *relaxed edges* `n` between two graphs (§6.1): edges of the
@@ -61,16 +70,61 @@ pub fn relaxed_edge_count(a: &LabeledGraph, b: &LabeledGraph) -> u32 {
     (ea.len().min(eb.len()) - common.min(ea.len().min(eb.len()))) as u32
 }
 
-/// The tightened bound `GED'_l = GED_l + n` of Lemma 6.1, where `n` is the
-/// relaxed-edge count.
+/// Combines the `GED_l` parts with a relaxed-edge count `n` into the
+/// tightened — and still *admissible* — bound used by
+/// [`ged_tight_lower_bound`]:
 ///
-/// Following the paper, this is the quantity MIDAS plugs into diversity
-/// computations. Note that because edge labels are *derived* from vertex
-/// labels, a single vertex relabel can repair many mismatched edge labels at
-/// once, so `GED'_l` is a heuristic tightening: it never decreases below
-/// `GED_l`, and coincides with it whenever all edges label-match.
+/// `GED'_l = max(vertex_part, ⌈n / d_max⌉) + edge_part`.
+///
+/// Soundness: every relaxed edge of the smaller-edge-set graph `S` must be
+/// either deleted (edge cost 1 each, beyond `edge_part`, which only counts
+/// the *net* count difference) or have an endpoint relabeled/deleted
+/// (vertex cost 1, repairing at most `d_max = max degree of S` incident
+/// edges at once). If `k` relaxed edges are deleted, the path pays at least
+/// `k` extra edge operations plus `⌈(n−k)/d_max⌉` vertex operations, which
+/// is never below `⌈n/d_max⌉`; and the vertex pool independently costs at
+/// least `vertex_part`. Taking the max (the two lower bounds share the
+/// vertex-operation pool) plus the disjoint `edge_part` stays below exact
+/// GED. The paper's additive Lemma 6.1 form (`GED_l + n`) over-counts when
+/// one relabel repairs several mismatched edge labels — edge labels are
+/// *derived* from endpoint labels here (§2.1) — so it can exceed exact GED;
+/// this form cannot.
+pub fn ged_tight_from_parts(
+    vertex_part: u32,
+    edge_part: u32,
+    relaxed: u32,
+    max_degree: u32,
+) -> u32 {
+    let d = max_degree.max(1);
+    vertex_part.max(relaxed.div_ceil(d)) + edge_part
+}
+
+/// Maximum vertex degree of `g` (0 for an edgeless graph).
+fn max_degree(g: &LabeledGraph) -> u32 {
+    (0..g.vertex_count() as VertexId)
+        .map(|v| g.neighbors(v).len() as u32)
+        .max()
+        .unwrap_or(0)
+}
+
+/// MIDAS's tightened lower bound `GED'_l` (Lemma 6.1), made admissible:
+/// the relaxed-edge count `n` is folded in through
+/// [`ged_tight_from_parts`] instead of the paper's additive `GED_l + n`,
+/// so `GED_l ≤ GED'_l ≤ exact GED` always holds (property-tested in the
+/// workspace's `tests` crate and cross-checked by the oracle harness).
+///
+/// This is the quantity MIDAS plugs into diversity computations.
 pub fn ged_tight_lower_bound(a: &LabeledGraph, b: &LabeledGraph) -> u32 {
-    ged_label_lower_bound(a, b) + relaxed_edge_count(a, b)
+    let (vertex_part, edge_part) = ged_label_parts(a, b);
+    let relaxed = relaxed_edge_count(a, b);
+    // `n` counts edges of the smaller-edge-set graph; its max degree is the
+    // repair fan-out the soundness argument needs.
+    let small = if a.edge_count() <= b.edge_count() {
+        a
+    } else {
+        b
+    };
+    ged_tight_from_parts(vertex_part, edge_part, relaxed, max_degree(small))
 }
 
 /// Exact GED by branch-and-bound over vertex assignments.
@@ -281,6 +335,10 @@ mod tests {
                     "GED_l violated for {x:?} vs {y:?}"
                 );
                 assert!(ged_tight_lower_bound(x, y) >= ged_label_lower_bound(x, y));
+                assert!(
+                    ged_tight_lower_bound(x, y) <= exact,
+                    "GED'_l inadmissible for {x:?} vs {y:?}"
+                );
             }
         }
     }
@@ -306,13 +364,32 @@ mod tests {
     }
 
     #[test]
-    fn tight_bound_adds_relaxation() {
+    fn tight_bound_stays_admissible_under_relaxation() {
+        // Regression: the paper's additive `GED_l + n` gave 1 + 2 = 3 here,
+        // but one middle-vertex relabel transforms a into b (exact = 1) —
+        // the bound was not a lower bound. The repaired form caps the
+        // relaxation by the repair fan-out `d_max`.
         let a = path(&[0, 0, 0]);
         let b = path(&[0, 1, 0]);
-        assert_eq!(
-            ged_tight_lower_bound(&a, &b),
-            ged_label_lower_bound(&a, &b) + 2
-        );
+        assert_eq!(relaxed_edge_count(&a, &b), 2);
+        assert_eq!(ged_exact(&a, &b), 1);
+        let tight = ged_tight_lower_bound(&a, &b);
+        assert!(tight <= ged_exact(&a, &b), "admissible");
+        assert!(tight >= ged_label_lower_bound(&a, &b));
+        assert_eq!(tight, 1);
+    }
+
+    #[test]
+    fn tight_bound_improves_on_label_bound() {
+        // Equal vertex-label multisets (vertex_part = 0) and equal edge
+        // counts (edge_part = 0), but mismatched edge labels: GED_l = 0,
+        // while the relaxation proves at least one operation is needed.
+        let a = path(&[0, 1, 0, 1]); // edges (0,1) ×3
+        let b = path(&[0, 0, 1, 1]); // edges (0,0), (0,1), (1,1)
+        assert_eq!(ged_label_lower_bound(&a, &b), 0);
+        let tight = ged_tight_lower_bound(&a, &b);
+        assert!(tight >= 1, "relaxed edges force work");
+        assert!(tight <= ged_exact(&a, &b), "still admissible");
     }
 
     #[test]

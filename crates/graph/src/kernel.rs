@@ -21,7 +21,7 @@
 
 use crate::cache::{CachedPattern, EmbeddingCache};
 use crate::db::GraphId;
-use crate::exec;
+use crate::exec::{self, KernelError};
 use crate::graph::LabeledGraph;
 use crate::isomorphism::count_embeddings;
 use std::sync::Arc;
@@ -139,6 +139,66 @@ impl MatchKernel {
         cap: u64,
     ) -> Vec<u64> {
         exec::par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
+    }
+
+    /// Fault-isolating twin of [`MatchKernel::count_in_graphs`]: a panic in
+    /// any per-graph task (including an injected `MIDAS_FAULT` one) is
+    /// contained and surfaced as a [`KernelError`] instead of aborting.
+    pub fn try_count_in_graphs(
+        &self,
+        pattern: &LabeledGraph,
+        graphs: &[(GraphId, &LabeledGraph)],
+        cap: u64,
+    ) -> Result<Vec<u64>, KernelError> {
+        let prepared = self.prepare(pattern);
+        exec::try_par_map(self.threads, graphs, |&(id, g)| {
+            self.cache.count_embeddings(&prepared, id, g, cap)
+        })
+    }
+
+    /// Fault-isolating twin of [`MatchKernel::count_grid`].
+    pub fn try_count_grid(
+        &self,
+        patterns: &[CachedPattern],
+        graphs: &[(GraphId, &LabeledGraph)],
+        cap: u64,
+    ) -> Result<Vec<Vec<u64>>, KernelError> {
+        exec::try_par_map(self.threads, graphs, |&(id, g)| {
+            self.cache.count_embeddings_many(patterns, id, g, cap)
+        })
+    }
+
+    /// Fault-isolating twin of [`MatchKernel::covered_in`].
+    pub fn try_covered_in(
+        &self,
+        pattern: &LabeledGraph,
+        graphs: &[(GraphId, &LabeledGraph)],
+    ) -> Result<Vec<bool>, KernelError> {
+        let prepared = self.prepare(pattern);
+        exec::try_par_map(self.threads, graphs, |&(id, g)| {
+            self.cache.is_subgraph(&prepared, id, g)
+        })
+    }
+
+    /// Fault-isolating twin of [`MatchKernel::any_covered_in`].
+    pub fn try_any_covered_in(
+        &self,
+        patterns: &[CachedPattern],
+        graphs: &[(GraphId, &LabeledGraph)],
+    ) -> Result<Vec<bool>, KernelError> {
+        exec::try_par_map(self.threads, graphs, |&(id, g)| {
+            patterns.iter().any(|p| self.cache.is_subgraph(p, id, g))
+        })
+    }
+
+    /// Fault-isolating twin of [`MatchKernel::count_plain_many`].
+    pub fn try_count_plain_many(
+        &self,
+        pattern: &LabeledGraph,
+        targets: &[&LabeledGraph],
+        cap: u64,
+    ) -> Result<Vec<u64>, KernelError> {
+        exec::try_par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
     }
 }
 

@@ -57,6 +57,7 @@ pub use cache::{CacheStats, CachedPattern, EmbeddingCache};
 pub use canonical::CanonicalCode;
 pub use closure::ClosureGraph;
 pub use db::{BatchUpdate, GraphDb, GraphId};
+pub use exec::KernelError;
 pub use graph::{EdgeLabel, GraphBuilder, LabeledGraph, VertexId};
 pub use graphlets::{GraphletCounts, GraphletDistribution, GraphletKind};
 pub use kernel::MatchKernel;

@@ -5,7 +5,7 @@ use crate::sparse::SparseMatrix;
 use crate::trie::Trie;
 use crate::{PatternId, EMBED_CAP};
 use midas_graph::isomorphism::count_embeddings;
-use midas_graph::{GraphId, LabeledGraph, MatchKernel};
+use midas_graph::{GraphId, KernelError, LabeledGraph, MatchKernel};
 use midas_mining::TreeKey;
 use std::collections::BTreeMap;
 
@@ -285,6 +285,123 @@ impl FctIndex {
                 self.add_feature_kernel(kernel, key.clone(), tree, graphs, patterns);
             }
         }
+    }
+
+    /// Fault-isolating twin of [`FctIndex::add_feature_kernel`]: every
+    /// fallible count runs *before* any index mutation, so a contained
+    /// worker panic (surfaced as [`KernelError`]) leaves the index exactly
+    /// as it was.
+    pub fn try_add_feature_kernel(
+        &mut self,
+        kernel: &MatchKernel,
+        key: TreeKey,
+        tree: &LabeledGraph,
+        graphs: &[(GraphId, &LabeledGraph)],
+        patterns: &[(PatternId, &LabeledGraph)],
+    ) -> Result<FeatureId, KernelError> {
+        if let Some(existing) = self.trie.lookup(key.tokens()) {
+            return Ok(existing);
+        }
+        let graph_counts = kernel.try_count_in_graphs(tree, graphs, EMBED_CAP)?;
+        let pattern_targets: Vec<&LabeledGraph> = patterns.iter().map(|&(_, p)| p).collect();
+        let pattern_counts = kernel.try_count_plain_many(tree, &pattern_targets, EMBED_CAP)?;
+        let id = FeatureId(self.next_feature);
+        self.next_feature += 1;
+        self.trie.insert(key.tokens(), id);
+        for (&(gid, _), count) in graphs.iter().zip(graph_counts) {
+            self.tg.set(id, gid, count as u32);
+        }
+        for (&(pid, _), count) in patterns.iter().zip(pattern_counts) {
+            self.tp.set(id, pid, count as u32);
+        }
+        self.features.insert(
+            id,
+            Feature {
+                key,
+                tree: tree.clone(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Fault-isolating twin of [`FctIndex::add_graphs_kernel`]: the count
+    /// grid is computed before any column is written, so on [`KernelError`]
+    /// the TG-matrix is untouched.
+    pub fn try_add_graphs_kernel(
+        &mut self,
+        kernel: &MatchKernel,
+        graphs: &[(GraphId, &LabeledGraph)],
+    ) -> Result<(), KernelError> {
+        if graphs.is_empty() || self.features.is_empty() {
+            return Ok(());
+        }
+        let prepared: Vec<(FeatureId, midas_graph::CachedPattern)> = self
+            .features
+            .iter()
+            .map(|(&fid, f)| (fid, kernel.prepare(&f.tree)))
+            .collect();
+        let cached: Vec<midas_graph::CachedPattern> =
+            prepared.iter().map(|(_, p)| p.clone()).collect();
+        let grid = kernel.try_count_grid(&cached, graphs, EMBED_CAP)?;
+        for (&(gid, _), row) in graphs.iter().zip(grid) {
+            for (&(fid, _), count) in prepared.iter().zip(row) {
+                self.tg.set(fid, gid, count as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fault-isolating twin of [`FctIndex::refresh_features_kernel`]: the
+    /// TG/TP rows of every *new* feature are counted up front; only once all
+    /// counts succeed are stale rows dropped and new rows inserted. On
+    /// [`KernelError`] the index is unchanged.
+    pub fn try_refresh_features_kernel(
+        &mut self,
+        kernel: &MatchKernel,
+        target: &[(TreeKey, &LabeledGraph)],
+        graphs: &[(GraphId, &LabeledGraph)],
+        patterns: &[(PatternId, &LabeledGraph)],
+    ) -> Result<(), KernelError> {
+        let pattern_targets: Vec<&LabeledGraph> = patterns.iter().map(|&(_, p)| p).collect();
+        let mut pending: Vec<(&TreeKey, &LabeledGraph, Vec<u64>, Vec<u64>)> = Vec::new();
+        let mut queued: std::collections::BTreeSet<&TreeKey> = std::collections::BTreeSet::new();
+        for (key, tree) in target {
+            if self.trie.lookup(key.tokens()).is_some() || !queued.insert(key) {
+                continue;
+            }
+            let graph_counts = kernel.try_count_in_graphs(tree, graphs, EMBED_CAP)?;
+            let pattern_counts = kernel.try_count_plain_many(tree, &pattern_targets, EMBED_CAP)?;
+            pending.push((key, tree, graph_counts, pattern_counts));
+        }
+        let want: BTreeMap<&TreeKey, &LabeledGraph> = target.iter().map(|(k, t)| (k, *t)).collect();
+        let stale: Vec<TreeKey> = self
+            .features
+            .values()
+            .filter(|f| !want.contains_key(&f.key))
+            .map(|f| f.key.clone())
+            .collect();
+        for key in stale {
+            self.remove_feature(&key);
+        }
+        for (key, tree, graph_counts, pattern_counts) in pending {
+            let id = FeatureId(self.next_feature);
+            self.next_feature += 1;
+            self.trie.insert(key.tokens(), id);
+            for (&(gid, _), count) in graphs.iter().zip(graph_counts) {
+                self.tg.set(id, gid, count as u32);
+            }
+            for (&(pid, _), count) in patterns.iter().zip(pattern_counts) {
+                self.tp.set(id, pid, count as u32);
+            }
+            self.features.insert(
+                id,
+                Feature {
+                    key: key.clone(),
+                    tree: tree.clone(),
+                },
+            );
+        }
+        Ok(())
     }
 
     /// Approximate heap size in bytes (for the Exp 2 memory report).

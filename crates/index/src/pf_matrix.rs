@@ -12,7 +12,7 @@
 use crate::fct_index::FctIndex;
 use crate::ife_index::IfeIndex;
 use crate::EMBED_CAP;
-use midas_graph::ged::ged_label_lower_bound;
+use midas_graph::ged::{ged_label_parts, ged_tight_from_parts};
 use midas_graph::isomorphism::find_embeddings;
 use midas_graph::{EdgeLabel, LabeledGraph};
 use std::collections::BTreeMap;
@@ -141,16 +141,20 @@ impl PfMatrix {
     }
 }
 
-/// The tightened lower bound `GED'_l(G_A, G_B) = GED_l + n` (Lemma 6.1),
-/// with `n` from the PF-matrices, oriented from the smaller-edge-set graph
-/// into the larger (as §6.1 prescribes `|E_j| > |E_i|`).
+/// The tightened lower bound `GED'_l(G_A, G_B)` (Lemma 6.1), with the
+/// relaxed-edge count `n` from the PF-matrices, oriented from the
+/// smaller-edge-set graph into the larger (as §6.1 prescribes
+/// `|E_j| > |E_i|`). Combined admissibly via
+/// [`ged_tight_from_parts`]: the paper-literal additive `GED_l + n`
+/// over-counts edit operations already charged by `GED_l` and can exceed
+/// the exact distance.
 pub fn ged_tight_lower_bound_pf(
     fct: &FctIndex,
     ife: &IfeIndex,
     a: &LabeledGraph,
     b: &LabeledGraph,
 ) -> u32 {
-    let base = ged_label_lower_bound(a, b);
+    let (vertex_part, edge_part) = ged_label_parts(a, b);
     let (small, large) = if a.edge_count() <= b.edge_count() {
         (a, b)
     } else {
@@ -158,13 +162,19 @@ pub fn ged_tight_lower_bound_pf(
     };
     let pf_small = PfMatrix::build(fct, ife, small);
     let pf_large = PfMatrix::build(fct, ife, large);
-    base + pf_small.relaxed_edges_into(&pf_large)
+    let relaxed = pf_small.relaxed_edges_into(&pf_large);
+    let max_degree = (0..small.vertex_count())
+        .map(|v| small.neighbors(v as u32).len() as u32)
+        .max()
+        .unwrap_or(0);
+    ged_tight_from_parts(vertex_part, edge_part, relaxed, max_degree)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::PatternId;
+    use midas_graph::ged::ged_label_lower_bound;
     use midas_graph::GraphBuilder;
     use midas_mining::tree_key;
     use std::collections::BTreeSet;

@@ -161,8 +161,20 @@ fn handle_connection(stream: TcpStream, started: Instant) {
         (Some(m), Some(p)) => (m, p),
         _ => return,
     };
+    let path = normalize_path(path);
     let response = if method != "GET" {
-        respond(405, "text/plain; charset=utf-8", "method not allowed\n")
+        // RFC 9110: a known resource that only supports GET answers 405
+        // with an `Allow` header; an unknown one is still just a 404.
+        if KNOWN_PATHS.contains(&path) {
+            respond_with(
+                405,
+                "text/plain; charset=utf-8",
+                "method not allowed\n",
+                &["Allow: GET"],
+            )
+        } else {
+            respond(404, "text/plain; charset=utf-8", "not found\n")
+        }
     } else {
         route(path, started)
     };
@@ -170,10 +182,25 @@ fn handle_connection(stream: TcpStream, started: Instant) {
     let _ = (&stream).flush();
 }
 
-/// Dispatches one GET path to its payload.
+/// Every resource the server exposes (canonical, slash-free form).
+const KNOWN_PATHS: [&str; 4] = ["/metrics", "/snapshot", "/healthz", "/flight"];
+
+/// Canonicalizes a request target for routing: the query string (and any
+/// fragment) is dropped and trailing slashes are stripped, so
+/// `GET /metrics?job=x` and `GET /healthz/` hit their endpoints instead of
+/// 404ing. The bare root stays `/`.
+fn normalize_path(target: &str) -> &str {
+    let path = target.split(['?', '#']).next().unwrap_or(target);
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        "/"
+    } else {
+        trimmed
+    }
+}
+
+/// Dispatches one GET path (already normalized) to its payload.
 fn route(path: &str, started: Instant) -> String {
-    // Scrapers may append query strings; ignore them.
-    let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
             let body = prom::render(&MetricsSnapshot::capture());
@@ -218,16 +245,26 @@ fn healthz(started: Instant) -> String {
 
 /// Formats one complete HTTP/1.1 response with `Connection: close`.
 fn respond(status: u16, content_type: &str, body: &str) -> String {
+    respond_with(status, content_type, body, &[])
+}
+
+/// [`respond`], plus extra response headers (e.g. `Allow: GET` on a 405).
+fn respond_with(status: u16, content_type: &str, body: &str, extra_headers: &[&str]) -> String {
     let reason = match status {
         200 => "OK",
         404 => "Not Found",
         405 => "Method Not Allowed",
         _ => "Error",
     };
-    format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         body.len()
-    )
+    );
+    for h in extra_headers {
+        head.push_str(h);
+        head.push_str("\r\n");
+    }
+    format!("{head}\r\n{body}")
 }
 
 #[cfg(test)]
@@ -331,7 +368,56 @@ mod tests {
         let mut raw = String::new();
         stream.read_to_string(&mut raw).expect("read");
         assert!(raw.starts_with("HTTP/1.1 405"), "{raw}");
+        assert!(
+            raw.contains("\r\nAllow: GET\r\n"),
+            "405 names the verb: {raw}"
+        );
+
+        // Non-GET on an *unknown* path is a plain 404, no Allow header.
+        let mut stream = TcpStream::connect(server.addr()).expect("connect");
+        write!(stream, "POST /nope HTTP/1.1\r\nHost: t\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert!(raw.starts_with("HTTP/1.1 404"), "{raw}");
+        assert!(!raw.contains("Allow:"), "{raw}");
         server.shutdown();
+    }
+
+    #[test]
+    fn trailing_slashes_and_queries_route_to_endpoints() {
+        // Regression: `GET /metrics?job=x` and `GET /healthz/` used to 404
+        // (only the query string was stripped, never trailing slashes).
+        let _g = crate::tests::exclusive();
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        for path in [
+            "/healthz/",
+            "/metrics/",
+            "/metrics?job=midas",
+            "/flight///",
+            "/snapshot/?pretty=1",
+            "/healthz#state",
+        ] {
+            let (status, _) = get(addr, path);
+            assert!(status.contains("200"), "{path}: {status}");
+        }
+        for path in ["/", "/metricsx", "/metrics/extra"] {
+            let (status, _) = get(addr, path);
+            assert!(status.contains("404"), "{path}: {status}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn normalize_path_canonicalizes_targets() {
+        assert_eq!(normalize_path("/metrics"), "/metrics");
+        assert_eq!(normalize_path("/metrics/"), "/metrics");
+        assert_eq!(normalize_path("/metrics///"), "/metrics");
+        assert_eq!(normalize_path("/metrics?job=x"), "/metrics");
+        assert_eq!(normalize_path("/metrics/?job=x"), "/metrics");
+        assert_eq!(normalize_path("/metrics#frag"), "/metrics");
+        assert_eq!(normalize_path("/"), "/");
+        assert_eq!(normalize_path("/?q"), "/");
     }
 
     #[test]

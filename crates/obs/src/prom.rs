@@ -70,15 +70,22 @@ fn number(v: f64) -> String {
 }
 
 /// Renders one summary-style family (quantiles + `_sum`/`_count`/`_max`).
+///
+/// A family with zero samples (possible for sliding windows whose samples
+/// all aged out) emits *no* quantile series — a quantile of an empty sample
+/// set is undefined (`NaN` in Prometheus semantics, which its text parser
+/// rejects for summaries), so only `_sum`/`_count`/`_max` are kept.
 fn push_summary(out: &mut String, family: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "# TYPE {family} summary");
-    for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-        let _ = writeln!(
-            out,
-            "{family}{{quantile=\"{}\"}} {}",
-            escape_label_value(label),
-            h.quantile(q)
-        );
+    if h.count > 0 {
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "{family}{{quantile=\"{}\"}} {}",
+                escape_label_value(label),
+                h.quantile(q)
+            );
+        }
     }
     let _ = writeln!(out, "{family}_sum {}", h.sum);
     let _ = writeln!(out, "{family}_count {}", h.count);
@@ -174,6 +181,33 @@ mod tests {
             let s = sanitize_name(&name);
             assert!(is_valid_name(&s), "{name:?} sanitized to invalid {s:?}");
         }
+    }
+
+    #[test]
+    fn empty_histograms_emit_no_quantile_series() {
+        // Regression: a windowed-out (empty) family used to emit quantile
+        // samples for a sample set that does not exist; the undefined
+        // quantile of an empty summary must be *omitted*, never rendered
+        // (a `NaN` value would make Prometheus reject the whole scrape).
+        let mut snap = MetricsSnapshot::default();
+        snap.windows
+            .insert("batch.swap".into(), HistogramSnapshot::default());
+        snap.histograms.insert(
+            "vf2.nodes_per_search".into(),
+            HistogramSnapshot {
+                count: 1,
+                sum: 15,
+                max: 15,
+                buckets: vec![(15, 1)],
+            },
+        );
+        let doc = render(&snap);
+        assert!(!doc.contains("midas_batch_swap_window{quantile"), "{doc}");
+        assert!(doc.contains("midas_batch_swap_window_count 0"));
+        assert!(doc.contains("midas_batch_swap_window_sum 0"));
+        // Non-empty families keep their quantiles.
+        assert!(doc.contains("midas_vf2_nodes_per_search{quantile=\"0.5\"}"));
+        assert!(!doc.contains("NaN"), "no NaN token anywhere: {doc}");
     }
 
     #[test]
