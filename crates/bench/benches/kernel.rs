@@ -1,10 +1,16 @@
 //! Kernel benchmark: serial vs parallel vs parallel + cached isomorphism
 //! scans for matrix builds and batch maintenance (§5.1), the hot loops the
 //! `MatchKernel` accelerates. Writes `BENCH_kernel.json` at the repo root
-//! with medians and the measured speedups.
+//! with medians and the measured speedups, and appends one timestamped
+//! record per run to `BENCH_history.jsonl` — the trajectory
+//! `scripts/bench_gate.py` gates regressions against.
 //!
 //! Scenario: a 2 000-graph molecule database, a 12-feature FCT-Index, and
 //! a 100-graph (5 %) insertion batch — the shape of one Algorithm 1 round.
+//! `MIDAS_BENCH_QUICK=1` shrinks that to 300 graphs / 20 insertions for
+//! CI: the medians are smaller (history records carry a `quick` flag so
+//! the gate never compares across modes) but the relative regressions the
+//! gate watches for still show.
 
 use criterion::{BatchSize, Criterion};
 use midas_datagen::{DatasetKind, DatasetSpec};
@@ -17,8 +23,18 @@ use std::hint::black_box;
 
 const DB_SIZE: usize = 2_000;
 const BATCH_SIZE: usize = 100; // 5% of DB_SIZE
+const QUICK_DB_SIZE: usize = 300;
+const QUICK_BATCH_SIZE: usize = 20;
 const THREADS: usize = 4;
 const FEATURES: usize = 12;
+
+/// `MIDAS_BENCH_QUICK=1|true|on` — CI-sized scenario, no
+/// `BENCH_kernel.json` rewrite (history still appends, flagged `quick`).
+fn quick_mode() -> bool {
+    std::env::var("MIDAS_BENCH_QUICK")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
 
 struct Scenario {
     db: GraphDb,
@@ -26,19 +42,19 @@ struct Scenario {
     features: Vec<(TreeKey, LabeledGraph)>,
 }
 
-fn scenario() -> Scenario {
-    let generated = DatasetSpec::new(DatasetKind::PubchemLike, DB_SIZE + BATCH_SIZE, 42).generate();
+fn scenario(db_size: usize, batch_size: usize) -> Scenario {
+    let generated = DatasetSpec::new(DatasetKind::PubchemLike, db_size + batch_size, 42).generate();
     let graphs: Vec<LabeledGraph> = generated
         .db
         .iter()
         .map(|(_, g)| g.as_ref().clone())
         .collect();
-    let db = GraphDb::from_graphs(graphs[..DB_SIZE].iter().cloned());
-    let batch: Vec<(GraphId, LabeledGraph)> = graphs[DB_SIZE..]
+    let db = GraphDb::from_graphs(graphs[..db_size].iter().cloned());
+    let batch: Vec<(GraphId, LabeledGraph)> = graphs[db_size..]
         .iter()
         .cloned()
         .enumerate()
-        .map(|(i, g)| (GraphId((DB_SIZE + i) as u64), g))
+        .map(|(i, g)| (GraphId((db_size + i) as u64), g))
         .collect();
     // Features: random connected subtrees (1–4 edges, the paper's
     // `max_tree_edges` range) drawn from the database, deduplicated by
@@ -47,7 +63,7 @@ fn scenario() -> Scenario {
     let mut features: Vec<(TreeKey, LabeledGraph)> = Vec::new();
     let mut i = 0usize;
     while features.len() < FEATURES && i < 50 * FEATURES {
-        let source = db.get(GraphId((i % DB_SIZE) as u64)).expect("dense ids");
+        let source = db.get(GraphId((i % db_size) as u64)).expect("dense ids");
         let edges = 1 + (i % 4);
         if let Some(t) = midas_datagen::random_connected_subgraph(source, edges, &mut rng) {
             if t.edge_count() + 1 != t.vertex_count() {
@@ -84,14 +100,59 @@ fn kernel_build(s: &Scenario, kernel: &MatchKernel) -> FctIndex {
     FctIndex::build_with(kernel, s.features.iter().cloned(), &graph_refs(&s.db), &[])
 }
 
+/// Appends one JSONL record for this run to `BENCH_history.jsonl` at the
+/// repo root (falling back to the current directory, mirroring the
+/// `BENCH_kernel.json` write). One line per run keeps the file
+/// append-only and trivially parsable; `scripts/bench_gate.py` compares
+/// the newest record against the trailing median of its mode.
+fn append_history(
+    quick: bool,
+    db_size: usize,
+    batch_size: usize,
+    results: &[criterion::BenchResult],
+    probe_ns: f64,
+) {
+    let mut medians = String::new();
+    for (i, r) in results.iter().enumerate() {
+        medians.push_str(&format!(
+            "\"{}\": {}{}",
+            r.name,
+            r.median().as_nanos(),
+            if i + 1 < results.len() { ", " } else { "" }
+        ));
+    }
+    let line = format!(
+        "{{\"unix_ms\": {}, \"quick\": {quick}, \"db_size\": {db_size}, \"batch_size\": {batch_size}, \"threads\": {THREADS}, \"disabled_probe_ns\": {probe_ns:.2}, \"median_ns\": {{{medians}}}}}\n",
+        midas_obs::flight::unix_ms()
+    );
+    let append = |path: &str| -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(line.as_bytes())
+    };
+    append("../../BENCH_history.jsonl")
+        .or_else(|_| append("BENCH_history.jsonl"))
+        .expect("append BENCH_history.jsonl");
+}
+
 fn main() {
-    let s = scenario();
+    let quick = quick_mode();
+    let (db_size, batch_size) = if quick {
+        (QUICK_DB_SIZE, QUICK_BATCH_SIZE)
+    } else {
+        (DB_SIZE, BATCH_SIZE)
+    };
+    let s = scenario(db_size, batch_size);
     println!(
-        "kernel bench: |D| = {}, batch = {}, features = {}, threads = {}",
+        "kernel bench: |D| = {}, batch = {}, features = {}, threads = {}{}",
         s.db.len(),
         s.batch.len(),
         s.features.len(),
-        THREADS
+        THREADS,
+        if quick { " (quick mode)" } else { "" }
     );
     let mut c = Criterion::default().sample_size(10);
 
@@ -217,7 +278,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"config\": {{\"db_size\": {DB_SIZE}, \"batch_size\": {BATCH_SIZE}, \"threads\": {THREADS}, \"features\": {FEATURES}, \"available_cores\": {cores}}},\n"
+        "  \"config\": {{\"db_size\": {db_size}, \"batch_size\": {batch_size}, \"threads\": {THREADS}, \"features\": {FEATURES}, \"available_cores\": {cores}}},\n"
     ));
     json.push_str("  \"median_ns\": {\n");
     for (i, r) in results.iter().enumerate() {
@@ -239,9 +300,14 @@ fn main() {
         telemetry.counter("vf2.nodes")
     ));
     json.push_str("}\n");
-    std::fs::write("../../BENCH_kernel.json", &json)
-        .or_else(|_| std::fs::write("BENCH_kernel.json", &json))
-        .expect("write BENCH_kernel.json");
+    // The headline report tracks the full-size scenario only; a quick run
+    // must never overwrite it with incomparable numbers.
+    if !quick {
+        std::fs::write("../../BENCH_kernel.json", &json)
+            .or_else(|_| std::fs::write("BENCH_kernel.json", &json))
+            .expect("write BENCH_kernel.json");
+    }
+    append_history(quick, db_size, batch_size, &results, probe_ns);
     println!("{json}");
     println!(
         "apply_batch parallel speedup {batch_speedup:.2}x (target >= 3x), \

@@ -176,6 +176,12 @@ impl Midas {
             obs_server,
         };
         midas.clusters.take_dirty(); // fresh clusters are not "modified"
+
+        // Bootstrap mining floods the VF2 tail-latency reservoir with
+        // one-time setup searches that carry no (pattern, graph)
+        // attribution; the sentry watches steady-state maintenance, so
+        // `/slow` starts fresh from the first batch.
+        midas_obs::exemplar::series("vf2.search_ns", "ns").reset();
         Ok(midas)
     }
 
@@ -330,6 +336,7 @@ impl Midas {
         });
         let fct_time = fct_start.elapsed();
         drop(fct_span);
+        midas_obs::alerts::record_phase("batch.fct", fct_time.as_micros() as u64);
 
         // Cluster + CSG maintenance (lines 1–2, 6–7).
         let cluster_span = midas_obs::span!("batch.cluster");
@@ -346,6 +353,7 @@ impl Midas {
         });
         let clustering_time = cluster_start.elapsed();
         drop(cluster_span);
+        midas_obs::alerts::record_phase("batch.cluster", clustering_time.as_micros() as u64);
 
         // Index maintenance (line 12 — we keep indices fresh every batch so
         // minor modifications leave them consistent too). The kernel passes
@@ -353,6 +361,11 @@ impl Midas {
         // surfaces as a `KernelError` with the index left untouched.
         let index_span = midas_obs::span!("batch.index");
         let index_start = Instant::now();
+        // Injected slowdown (`MIDAS_FAULT=slow:US`): burns wall-clock inside
+        // this span so the SLO burn-rate alerts have a reproducible trigger.
+        if let Some(us) = env_fault_slow_us() {
+            std::thread::sleep(Duration::from_micros(us));
+        }
         if let Some(Err(e)) = contain("batch.index", &mut batch_error, || {
             self.maintain_indices(&inserted, &deleted_ids)
         }) {
@@ -361,6 +374,7 @@ impl Midas {
         }
         let index_time = index_start.elapsed();
         drop(index_span);
+        midas_obs::alerts::record_phase("batch.index", index_time.as_micros() as u64);
 
         // Classification (line 8).
         let classify_span = midas_obs::span!("batch.classify");
@@ -421,6 +435,10 @@ impl Midas {
                 candidates_generated = candidates.len();
                 candidate_time = cand_start.elapsed();
                 drop(candidates_span);
+                midas_obs::alerts::record_phase(
+                    "batch.candidates",
+                    candidate_time.as_micros() as u64,
+                );
                 midas_obs::counter_add!("batch.candidates_generated", candidates_generated as u64);
 
                 // Swapping (§6).
@@ -447,6 +465,7 @@ impl Midas {
                 };
                 swap_time = swap_start.elapsed();
                 drop(swap_span);
+                midas_obs::alerts::record_phase("batch.swap", swap_time.as_micros() as u64);
                 midas_obs::counter_add!("batch.swaps", swaps as u64);
                 midas_obs::obs_info!(
                     "core::framework",
@@ -624,6 +643,21 @@ impl Midas {
         );
         Ok(())
     }
+}
+
+/// `MIDAS_FAULT=slow:US` — injected per-batch slowdown in microseconds,
+/// burned inside the `batch.index` span. The variable is shared with the
+/// kernel's panic injector (`MIDAS_FAULT=task:N`); each consumer parses
+/// only its own prefix, so the two faults are mutually exclusive by
+/// construction. Read fresh on every batch (no caching) so tests and
+/// operators can arm/disarm it mid-process.
+fn env_fault_slow_us() -> Option<u64> {
+    std::env::var("MIDAS_FAULT")
+        .ok()
+        .as_deref()
+        .and_then(|s| s.trim().strip_prefix("slow:"))
+        .and_then(|n| n.trim().parse::<u64>().ok())
+        .filter(|&us| us > 0)
 }
 
 /// Logs a contained worker failure to telemetry and the flight recorder.

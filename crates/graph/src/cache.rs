@@ -52,16 +52,31 @@ pub struct CachedPattern {
     graph: Arc<LabeledGraph>,
     key: CanonicalCode,
     sig: GraphSignature,
+    fingerprint: u64,
 }
 
 impl CachedPattern {
     /// Prepares `pattern` (canonical code + signature).
     pub fn new(pattern: &LabeledGraph) -> Self {
+        let key = canonical_code(pattern);
+        let fingerprint = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            key.hash(&mut h);
+            h.finish()
+        };
         CachedPattern {
             graph: Arc::new(pattern.clone()),
-            key: canonical_code(pattern),
+            key,
             sig: GraphSignature::of(pattern),
+            fingerprint,
         }
+    }
+
+    /// A stable 64-bit digest of the canonical key — equal for isomorphic
+    /// patterns, compact enough to tag telemetry exemplars with.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The underlying pattern graph.
@@ -292,6 +307,10 @@ impl EmbeddingCache {
                 count: 0,
             }
         } else {
+            // Tag the VF2 run so tail exemplars attribute to this
+            // (pattern, graph); the guard unwinds the thread-local tag.
+            let _ctx = midas_obs::enabled()
+                .then(|| midas_obs::exemplar::with_context(pattern.fingerprint, id.0));
             StoredCount {
                 cap,
                 count: compute(&pattern.graph, target, cap),
@@ -379,6 +398,8 @@ impl EmbeddingCache {
                     count: 0,
                 }
             } else {
+                let _ctx = midas_obs::enabled()
+                    .then(|| midas_obs::exemplar::with_context(p.fingerprint, id.0));
                 StoredCount {
                     cap,
                     count: count_embeddings(&p.graph, target, cap),

@@ -252,7 +252,16 @@ where
         visit,
     );
     if let Some(start) = start {
-        midas_obs::histogram_record!("vf2.search_ns", start.elapsed().as_nanos() as u64);
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        midas_obs::histogram_record!("vf2.search_ns", elapsed_ns);
+        // Tail attribution: the exemplar reservoir keeps the slowest
+        // searches tagged with the (pattern, graph) context set by the
+        // embedding cache. Handle cached; sub-threshold offers are one
+        // relaxed load.
+        static SLOW: std::sync::OnceLock<&'static midas_obs::exemplar::Series> =
+            std::sync::OnceLock::new();
+        SLOW.get_or_init(|| midas_obs::exemplar::series("vf2.search_ns", "ns"))
+            .offer(elapsed_ns);
     }
     midas_obs::counter_add!("vf2.searches", 1);
     midas_obs::counter_add!("vf2.nodes", nodes);

@@ -1,5 +1,6 @@
 //! Telemetry configuration embedded in `MidasConfig`.
 
+use crate::alerts::SloConfig;
 use crate::log::LogLevel;
 use std::path::PathBuf;
 
@@ -17,7 +18,14 @@ use std::path::PathBuf;
 ///   [`Self::serve`] and names the address
 ///   (see [`TelemetryConfig::serve_addr`]);
 /// * `MIDAS_FLIGHT` — flight-recorder batch capacity (a positive integer);
-/// * `MIDAS_LOG` — log level (see [`crate::log`]).
+/// * `MIDAS_LOG` — log level (see [`crate::log`]);
+/// * `MIDAS_PROFILE_HZ` — sampling-profiler rate in Hz (0 = off; clamped
+///   to [`crate::profile::MAX_HZ`]);
+/// * `MIDAS_SLO_PHASE_US` / `MIDAS_SLO_VF2_NS` — per-phase span and VF2
+///   search latency budgets (0 = that alert family off);
+/// * `MIDAS_SLO_BUDGET_PPM` / `MIDAS_SLO_BURN_MILLI` — the error budget
+///   (parts-per-million over budget allowed) and the burn-rate alert
+///   threshold ×1000 (see [`crate::alerts`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TelemetryConfig {
     /// Master switch for counters/gauges/histograms/span statistics.
@@ -33,6 +41,11 @@ pub struct TelemetryConfig {
     pub flight_capacity: usize,
     /// Log level for the [`crate::obs_warn!`]-family macros.
     pub log: LogLevel,
+    /// Sampling-profiler rate in Hz (0 = profiler off). Only takes effect
+    /// while [`Self::enabled`] is set.
+    pub profile_hz: u32,
+    /// SLO budgets driving the burn-rate alerts (see [`crate::alerts`]).
+    pub slo: SloConfig,
 }
 
 impl Default for TelemetryConfig {
@@ -44,6 +57,8 @@ impl Default for TelemetryConfig {
             serve: false,
             flight_capacity: crate::flight::DEFAULT_CAPACITY,
             log: LogLevel::Warn,
+            profile_hz: 0,
+            slo: SloConfig::default(),
         }
     }
 }
@@ -91,6 +106,21 @@ impl TelemetryConfig {
         {
             self.log = level;
         }
+        if let Some(hz) = env_u64("MIDAS_PROFILE_HZ") {
+            self.profile_hz = hz.min(u64::from(u32::MAX)) as u32;
+        }
+        if let Some(us) = env_u64("MIDAS_SLO_PHASE_US") {
+            self.slo.phase_budget_us = us;
+        }
+        if let Some(ns) = env_u64("MIDAS_SLO_VF2_NS") {
+            self.slo.vf2_budget_ns = ns;
+        }
+        if let Some(ppm) = env_u64("MIDAS_SLO_BUDGET_PPM").filter(|&p| p > 0) {
+            self.slo.allowed_ppm = ppm.min(1_000_000) as u32;
+        }
+        if let Some(milli) = env_u64("MIDAS_SLO_BURN_MILLI").filter(|&m| m > 0) {
+            self.slo.burn_milli = milli.min(u64::from(u32::MAX)) as u32;
+        }
         self
     }
 
@@ -102,6 +132,8 @@ impl TelemetryConfig {
         crate::set_tracing(self.enabled && self.trace);
         crate::log::set_log_level(self.log);
         crate::flight::set_capacity(self.flight_capacity);
+        crate::alerts::configure(self.slo);
+        crate::profile::set_rate(if self.enabled { self.profile_hz } else { 0 });
     }
 
     /// Where `trace.json` goes: `MIDAS_TRACE_OUT` or `./trace.json`.
@@ -119,6 +151,14 @@ impl TelemetryConfig {
             .filter(|s| !s.trim().is_empty())
             .unwrap_or_else(|| "127.0.0.1:0".to_string())
     }
+}
+
+/// Parses a non-negative integer environment value; unset or unparsable
+/// returns `None`.
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
 }
 
 /// Parses a boolean environment value. Unknown strings return `None`.
@@ -142,6 +182,8 @@ mod tests {
         assert!(!c.serve);
         assert_eq!(c.flight_capacity, crate::flight::DEFAULT_CAPACITY);
         assert_eq!(c.log, LogLevel::Warn);
+        assert_eq!(c.profile_hz, 0);
+        assert!(!c.slo.any_enabled());
     }
 
     #[test]

@@ -11,8 +11,11 @@
 //! |-------------|----------------------------------------------------------|
 //! | `/metrics`  | Prometheus text exposition ([`crate::prom::render`])     |
 //! | `/snapshot` | The full [`MetricsSnapshot`] JSON                        |
-//! | `/healthz`  | Drift state + last-batch status, JSON                    |
+//! | `/healthz`  | Drift state, firing alerts + last-batch status, JSON     |
 //! | `/flight`   | Flight-recorder dump ([`crate::flight::dump_json`])      |
+//! | `/profile`  | Folded profiler stacks ([`crate::profile::folded`])      |
+//! | `/slow`     | Tail-latency exemplars ([`crate::exemplar::render_json`])|
+//! | `/alerts`   | Burn-rate alert states ([`crate::alerts::render_json`])  |
 //!
 //! Architecture: one accept-loop thread pushes connections into a bounded
 //! channel drained by a small worker pool ([`WORKERS`] threads). Requests
@@ -183,7 +186,15 @@ fn handle_connection(stream: TcpStream, started: Instant) {
 }
 
 /// Every resource the server exposes (canonical, slash-free form).
-const KNOWN_PATHS: [&str; 4] = ["/metrics", "/snapshot", "/healthz", "/flight"];
+const KNOWN_PATHS: [&str; 7] = [
+    "/metrics",
+    "/snapshot",
+    "/healthz",
+    "/flight",
+    "/profile",
+    "/slow",
+    "/alerts",
+];
 
 /// Canonicalizes a request target for routing: the query string (and any
 /// fragment) is dropped and trailing slashes are stripped, so
@@ -203,7 +214,7 @@ fn normalize_path(target: &str) -> &str {
 fn route(path: &str, started: Instant) -> String {
     match path {
         "/metrics" => {
-            let body = prom::render(&MetricsSnapshot::capture());
+            let body = prom::render_live(&MetricsSnapshot::capture());
             respond(200, "text/plain; version=0.0.4; charset=utf-8", &body)
         }
         "/snapshot" => respond(
@@ -213,13 +224,34 @@ fn route(path: &str, started: Instant) -> String {
         ),
         "/healthz" => respond(200, "application/json; charset=utf-8", &healthz(started)),
         "/flight" => respond(200, "application/json; charset=utf-8", &flight::dump_json()),
+        "/profile" => respond(200, "text/plain; charset=utf-8", &crate::profile::folded()),
+        "/slow" => respond(
+            200,
+            "application/json; charset=utf-8",
+            &crate::exemplar::render_json(),
+        ),
+        "/alerts" => respond(
+            200,
+            "application/json; charset=utf-8",
+            &crate::alerts::render_json(),
+        ),
         _ => respond(404, "text/plain; charset=utf-8", "not found\n"),
     }
 }
 
-/// The health document: drift state, uptime, and the last batch outcome.
+/// The health document: drift state, uptime, firing alerts, and the last
+/// batch outcome. `status` degrades from `"ok"` to `"alerting"` when any
+/// burn-rate alert is firing, so a plain healthcheck probe sees SLO burn
+/// without parsing `/alerts`.
 fn healthz(started: Instant) -> String {
     let drift = crate::registry::registry().gauge("monitor.drift").get();
+    let firing = crate::alerts::firing();
+    let status = if firing.is_empty() { "ok" } else { "alerting" };
+    let firing_json = firing
+        .iter()
+        .map(|n| crate::json::quote(n))
+        .collect::<Vec<_>>()
+        .join(", ");
     let last = flight::last_batch();
     let last_json = match &last {
         Some(b) => format!(
@@ -234,10 +266,12 @@ fn healthz(started: Instant) -> String {
         None => "null".to_owned(),
     };
     format!(
-        "{{\n  \"status\": \"ok\",\n  \"uptime_s\": {},\n  \"telemetry_enabled\": {},\n  \"drift\": {},\n  \"batches\": {},\n  \"last_batch\": {}\n}}\n",
+        "{{\n  \"status\": {},\n  \"uptime_s\": {},\n  \"telemetry_enabled\": {},\n  \"drift\": {},\n  \"alerts_firing\": [{}],\n  \"batches\": {},\n  \"last_batch\": {}\n}}\n",
+        crate::json::quote(status),
         started.elapsed().as_secs(),
         crate::enabled(),
         crate::json::number(drift),
+        firing_json,
         flight::total_batches(),
         last_json
     )
@@ -284,7 +318,7 @@ mod tests {
     }
 
     #[test]
-    fn serves_all_four_endpoints_and_404() {
+    fn serves_all_endpoints_and_404() {
         let _g = crate::tests::exclusive();
         crate::flight::clear();
         crate::set_enabled(true);
@@ -331,6 +365,20 @@ mod tests {
         json::validate(&body).expect("flight JSON");
         assert!(body.contains("\"total_batches\": 1"));
 
+        let (status, body) = get(addr, "/slow");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("slow JSON");
+        assert!(body.contains("\"reservoir_k\""));
+
+        let (status, body) = get(addr, "/alerts");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("alerts JSON");
+        assert!(body.contains("\"alerts\""));
+
+        // /profile is plain text (possibly empty when nothing was sampled).
+        let (status, _) = get(addr, "/profile");
+        assert!(status.contains("200"));
+
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"));
 
@@ -340,6 +388,33 @@ mod tests {
 
         server.shutdown();
         crate::flight::clear();
+    }
+
+    #[test]
+    fn healthz_degrades_to_alerting_while_an_alert_fires() {
+        let _g = crate::tests::exclusive();
+        crate::alerts::configure(crate::alerts::SloConfig {
+            phase_budget_us: 10,
+            ..crate::alerts::SloConfig::default()
+        });
+        let h = crate::registry::registry().span("batch.index").durations();
+        h.reset();
+        // Violations in the current live tick: inside both windows.
+        let now = crate::registry::current_tick();
+        for _ in 0..8 {
+            h.record_windowed_at(1_000_000, now);
+        }
+        let server = ObsServer::start("127.0.0.1:0").expect("bind");
+        let (status, body) = get(server.addr(), "/healthz");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("healthz JSON");
+        assert!(body.contains("\"status\": \"alerting\""), "{body}");
+        assert!(body.contains("\"batch.index\""), "{body}");
+        let (_, body) = get(server.addr(), "/alerts");
+        assert!(body.contains("\"firing\""), "{body}");
+        server.shutdown();
+        h.reset();
+        crate::alerts::configure(crate::alerts::SloConfig::default());
     }
 
     #[test]

@@ -52,17 +52,21 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alerts;
 pub mod config;
+pub mod exemplar;
 pub mod flight;
 pub mod http;
 pub mod json;
 pub mod log;
+pub mod profile;
 pub mod prom;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use alerts::{AlertEval, AlertState, SloConfig};
 pub use config::TelemetryConfig;
 pub use flight::{BatchSummary, FlightEvent};
 pub use http::ObsServer;

@@ -93,7 +93,9 @@ fn push_summary(out: &mut String, family: &str, h: &HistogramSnapshot) {
     let _ = writeln!(out, "{family}_max {}", h.max);
 }
 
-/// Renders the whole snapshot as one Prometheus scrape body.
+/// Renders the whole snapshot as one Prometheus scrape body (pure over
+/// `snap`; see [`render_live`] for the full scrape with alert gauges and
+/// exemplar hints from process-global state).
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
@@ -118,6 +120,44 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         let family = format!("{PREFIX}{}_window", sanitize_name(name));
         push_summary(&mut out, &family, w);
     }
+    out
+}
+
+/// [`render`] plus the live sections that are not part of the snapshot:
+/// one `midas_alert_firing{alert="..."}` gauge per evaluated burn-rate
+/// alert and OpenMetrics-style `# exemplar` hint comments attributing each
+/// family's slowest observations (see [`crate::exemplar`]). This is what
+/// `GET /metrics` serves.
+pub fn render_live(snap: &MetricsSnapshot) -> String {
+    let mut out = render(snap);
+    let evals = crate::alerts::evaluate();
+    if !evals.is_empty() {
+        let _ = writeln!(out, "# TYPE {PREFIX}alert_firing gauge");
+        for a in &evals {
+            let _ = writeln!(
+                out,
+                "{PREFIX}alert_firing{{alert=\"{}\"}} {}",
+                escape_label_value(a.name),
+                u8::from(a.state == crate::alerts::AlertState::Firing)
+            );
+        }
+    }
+    crate::exemplar::for_each_series(|name, series| {
+        let family = format!("{PREFIX}{}", sanitize_name(name));
+        for ex in series.top() {
+            let pattern = ex
+                .pattern()
+                .map_or_else(|| "-".to_owned(), |p| p.to_string());
+            let graph = ex.graph().map_or_else(|| "-".to_owned(), |g| g.to_string());
+            let _ = writeln!(
+                out,
+                "# exemplar {family} value={} unit={} pattern={pattern} graph={graph} seq={}",
+                ex.value,
+                series.unit(),
+                ex.seq
+            );
+        }
+    });
     out
 }
 
@@ -208,6 +248,30 @@ mod tests {
         // Non-empty families keep their quantiles.
         assert!(doc.contains("midas_vf2_nodes_per_search{quantile=\"0.5\"}"));
         assert!(!doc.contains("NaN"), "no NaN token anywhere: {doc}");
+    }
+
+    #[test]
+    fn render_live_appends_alert_gauges_and_exemplar_hints() {
+        let _g = crate::tests::exclusive();
+        crate::alerts::configure(crate::alerts::SloConfig {
+            vf2_budget_ns: 1_000,
+            ..crate::alerts::SloConfig::default()
+        });
+        let s = crate::exemplar::series("vf2.search_ns", "ns");
+        s.reset();
+        {
+            let _c = crate::exemplar::with_context(99, 3);
+            s.offer(50_000);
+        }
+        let doc = render_live(&MetricsSnapshot::default());
+        assert!(doc.contains("# TYPE midas_alert_firing gauge"), "{doc}");
+        assert!(doc.contains("midas_alert_firing{alert=\"vf2.search_ns\"} 0"));
+        assert!(
+            doc.contains("# exemplar midas_vf2_search_ns value=50000 unit=ns pattern=99 graph=3"),
+            "{doc}"
+        );
+        s.reset();
+        crate::alerts::configure(crate::alerts::SloConfig::default());
     }
 
     #[test]

@@ -19,8 +19,10 @@ const COUNTER_SHARDS: usize = 16;
 /// (i.e. `v == 0` → bucket 0, else bucket `⌊log₂ v⌋ + 1`).
 const HISTOGRAM_BUCKETS: usize = 64;
 
-/// Sliding-window slots per histogram (ring of time slices).
-const WINDOW_SLOTS: usize = 8;
+/// Sliding-window slots per histogram (ring of time slices). Sized so the
+/// burn-rate alerts ([`crate::alerts`]) can carve both their fast (1 min)
+/// and slow (15 min) windows out of one ring: 64 × 15 s ≈ 16 minutes.
+pub const WINDOW_SLOTS: usize = 64;
 
 /// Seconds each window slot covers. The live window therefore spans up to
 /// `WINDOW_SLOTS × WINDOW_SLOT_SECS` seconds (and at least one slot less,
@@ -294,11 +296,26 @@ impl Histogram {
     /// Window aggregate as seen at an explicit tick (slots older than
     /// `WINDOW_SLOTS` ticks are excluded). Exposed for deterministic tests.
     pub fn windowed_at(&self, now: u64) -> WindowAggregate {
+        self.windowed_recent_at(now, WINDOW_SLOTS as u64)
+    }
+
+    /// Aggregate over only the most recent `slots` ring slots (the last
+    /// `slots × WINDOW_SLOT_SECS` seconds). This is how the burn-rate
+    /// alerts read a short "fast" and a long "slow" window off the same
+    /// ring.
+    pub fn windowed_recent(&self, slots: u64) -> WindowAggregate {
+        self.windowed_recent_at(current_tick(), slots)
+    }
+
+    /// [`Histogram::windowed_recent`] at an explicit tick, for
+    /// deterministic tests. `slots` is clamped to the ring size.
+    pub fn windowed_recent_at(&self, now: u64, slots: u64) -> WindowAggregate {
+        let slots = slots.min(WINDOW_SLOTS as u64);
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
         let mut agg = WindowAggregate::default();
         for slot in &self.window {
             let tick = slot.tick.load(Ordering::Acquire);
-            if tick == TICK_EMPTY || tick > now || now - tick >= WINDOW_SLOTS as u64 {
+            if tick == TICK_EMPTY || tick > now || now - tick >= slots {
                 continue;
             }
             let (count, sum, max) = slot.set.totals();
@@ -318,7 +335,9 @@ impl Histogram {
         agg
     }
 
-    fn reset(&self) {
+    /// Zeroes the lifetime totals and every window slot. Public so tests
+    /// (and the integration suite) can isolate window-rotation scenarios.
+    pub fn reset(&self) {
         self.base.reset();
         for slot in &self.window {
             slot.tick.store(TICK_EMPTY, Ordering::Release);
@@ -558,6 +577,29 @@ mod tests {
         assert_eq!(w.count, 1);
         assert_eq!(w.sum, 100);
         assert_eq!(w.buckets, vec![(127, 1)]);
+    }
+
+    #[test]
+    fn windowed_recent_scopes_to_the_requested_slots() {
+        let h = registry().histogram("test.registry.window_recent");
+        h.reset();
+        // Old traffic at ticks 10..20, a fresh burst at ticks 58..=60.
+        for tick in 10..20u64 {
+            h.record_windowed_at(1, tick);
+        }
+        for tick in 58..=60u64 {
+            h.record_windowed_at(1000, tick);
+        }
+        let now = 60u64;
+        let fast = h.windowed_recent_at(now, 4);
+        assert_eq!(fast.count, 3, "only the burst is inside 4 slots");
+        assert_eq!(fast.max, 1000);
+        let slow = h.windowed_recent_at(now, 60);
+        assert_eq!(slow.count, 13, "old traffic still inside 60 slots");
+        // Requesting more than the ring clamps instead of double counting.
+        let all = h.windowed_recent_at(now, 10_000);
+        assert_eq!(all, h.windowed_at(now));
+        h.reset();
     }
 
     #[test]

@@ -8,26 +8,96 @@
 //! span opened while `batch.swap` is live renders inside it both in the
 //! snapshot (two named statistics) and in the trace (time containment on
 //! the same `tid`).
+//!
+//! # Sharing with the sampling profiler
+//!
+//! Each thread's stack is an [`Arc<ThreadStack>`] held in a thread-local
+//! and registered (as a `Weak`) in a global roster, so
+//! [`crate::profile::sample_once`] can walk every live stack from the
+//! sampler thread. The frames sit behind a `Mutex` rather than a
+//! `RefCell` for exactly that cross-thread read; the lock is uncontended
+//! in the common case (the owner pushes/pops, the sampler reads a few
+//! dozen times a second) and is only ever touched when telemetry is
+//! enabled — the disabled path stays one relaxed atomic load. A thread
+//! that exits drops its `Arc`; the roster's `Weak` goes dead and is
+//! pruned on the sampler's next pass.
 
 use crate::registry::registry;
 use crate::trace;
 use std::cell::RefCell;
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 use std::time::Instant;
 
+/// One thread's live span stack, readable from the sampler thread.
+#[derive(Debug)]
+pub(crate) struct ThreadStack {
+    /// Dense thread index (also the Chrome-trace `tid`).
+    pub(crate) tid: usize,
+    frames: Mutex<Vec<&'static str>>,
+}
+
+impl ThreadStack {
+    /// A point-in-time copy of the frames, outermost first.
+    pub(crate) fn snapshot(&self) -> Vec<&'static str> {
+        self.frames
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+fn roster() -> &'static Mutex<Vec<Weak<ThreadStack>>> {
+    static ROSTER: OnceLock<Mutex<Vec<Weak<ThreadStack>>>> = OnceLock::new();
+    ROSTER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Every registered stack still owned by a live thread; dead entries are
+/// pruned in passing. Called by the sampling profiler.
+pub(crate) fn live_stacks() -> Vec<Arc<ThreadStack>> {
+    let mut roster = roster().lock().unwrap_or_else(|e| e.into_inner());
+    roster.retain(|w| w.strong_count() > 0);
+    roster.iter().filter_map(Weak::upgrade).collect()
+}
+
 thread_local! {
-    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    static STACK: RefCell<Option<Arc<ThreadStack>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` against this thread's stack, creating and registering it on
+/// first use.
+fn with_stack<R>(f: impl FnOnce(&ThreadStack) -> R) -> R {
+    STACK.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let stack = slot.get_or_insert_with(|| {
+            let stack = Arc::new(ThreadStack {
+                tid: crate::registry::thread_index(),
+                frames: Mutex::new(Vec::new()),
+            });
+            roster()
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Arc::downgrade(&stack));
+            stack
+        });
+        f(stack)
+    })
 }
 
 /// The names of the spans currently open on this thread, outermost first.
 /// Mostly useful for debugging instrumentation; empty when telemetry is
 /// disabled.
 pub fn current_stack() -> Vec<&'static str> {
-    SPAN_STACK.with(|s| s.borrow().clone())
+    STACK.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .map(|s| s.snapshot())
+            .unwrap_or_default()
+    })
 }
 
 /// Depth of the calling thread's span stack.
 pub fn current_depth() -> usize {
-    SPAN_STACK.with(|s| s.borrow().len())
+    current_stack().len()
 }
 
 /// An RAII guard timing one named region. Construct via
@@ -53,7 +123,12 @@ impl Span {
         if !crate::enabled() {
             return Span { active: None };
         }
-        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        with_stack(|s| {
+            s.frames
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(name)
+        });
         Span {
             active: Some(ActiveSpan {
                 name,
@@ -74,8 +149,8 @@ impl Drop for Span {
             return;
         };
         let dur = active.start.elapsed();
-        SPAN_STACK.with(|s| {
-            let mut stack = s.borrow_mut();
+        with_stack(|s| {
+            let mut stack = s.frames.lock().unwrap_or_else(|e| e.into_inner());
             // Pop our own frame. Overlapping (non-nested) guard lifetimes
             // cannot corrupt other frames: we remove the deepest matching
             // occurrence of our name only.
@@ -84,6 +159,11 @@ impl Drop for Span {
             }
         });
         registry().span(active.name).record(dur);
+        // Phase spans feed the tail-latency exemplar store, so `/slow` can
+        // attribute slow batches, not just slow VF2 searches.
+        if active.name.starts_with("batch.") {
+            crate::exemplar::offer_named(active.name, "us", dur.as_micros() as u64);
+        }
         if crate::tracing_enabled() {
             trace::push_complete_event(active.name, active.start, dur);
         }
@@ -144,5 +224,30 @@ mod tests {
         drop(b);
         crate::set_enabled(false);
         assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn stacks_are_visible_across_threads() {
+        let _g = exclusive();
+        crate::set_enabled(true);
+        let (ready_tx, ready_rx) = std::sync::mpsc::channel();
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<()>();
+        let worker = std::thread::spawn(move || {
+            let _outer = Span::enter("test.span.shared_outer");
+            let _inner = Span::enter("test.span.shared_inner");
+            ready_tx.send(()).unwrap();
+            let _ = done_rx.recv(); // hold the spans open until observed
+        });
+        ready_rx.recv().unwrap();
+        let stacks: Vec<Vec<&'static str>> = live_stacks().iter().map(|s| s.snapshot()).collect();
+        assert!(
+            stacks
+                .iter()
+                .any(|s| s == &vec!["test.span.shared_outer", "test.span.shared_inner"]),
+            "worker stack visible from another thread: {stacks:?}"
+        );
+        done_tx.send(()).unwrap();
+        worker.join().unwrap();
+        crate::set_enabled(false);
     }
 }

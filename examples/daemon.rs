@@ -1,11 +1,16 @@
 //! Long-running maintenance daemon serving the live observability
-//! endpoints: `/metrics`, `/snapshot`, `/healthz`, `/flight`.
+//! endpoints: `/metrics`, `/snapshot`, `/healthz`, `/flight`, `/profile`,
+//! `/slow`, `/alerts`.
 //!
 //! ```sh
-//! MIDAS_SERVE=127.0.0.1:9898 cargo run -p midas-examples --bin daemon
+//! MIDAS_SERVE=127.0.0.1:9898 MIDAS_PROFILE_HZ=97 \
+//!     cargo run -p midas-examples --bin daemon
 //! # then, from another shell:
 //! curl -s http://127.0.0.1:9898/metrics | head
 //! curl -s http://127.0.0.1:9898/healthz
+//! curl -s http://127.0.0.1:9898/profile   # flamegraph-ready folded stacks
+//! curl -s http://127.0.0.1:9898/slow      # slowest VF2 searches, attributed
+//! curl -s http://127.0.0.1:9898/alerts    # SLO burn-rate alert states
 //! ```
 //!
 //! Bootstraps on a synthetic molecule-like repository and applies one
@@ -22,7 +27,14 @@
 //! * `MIDAS_ADDR_FILE` — if set, the bound `host:port` is written there;
 //! * `MIDAS_DAEMON_ITERS` — stop after this many batches (default: run
 //!   until killed), used by the CI smoke test;
-//! * `MIDAS_DAEMON_PAUSE_MS` — sleep between batches (default 500).
+//! * `MIDAS_DAEMON_PAUSE_MS` — sleep between batches (default 500);
+//! * `MIDAS_PROFILE_HZ` — cooperative sampling-profiler rate (0 = off);
+//!   the aggregate shows up at `GET /profile`;
+//! * `MIDAS_SLO_PHASE_US` / `MIDAS_SLO_VF2_NS` — latency budgets arming
+//!   the burn-rate alerts (`GET /alerts`; firing alerts are printed per
+//!   batch and flip `/healthz` to `"alerting"`);
+//! * `MIDAS_FAULT=slow:US` — inject a per-batch slowdown to watch the
+//!   alerts fire.
 
 use midas_core::{Midas, MidasConfig};
 use midas_datagen::updates::{deletion_percent, growth_percent};
@@ -66,6 +78,9 @@ fn main() {
     println!("  GET /snapshot  full metrics snapshot as JSON");
     println!("  GET /healthz   liveness + drift + last batch");
     println!("  GET /flight    flight-recorder dump (recent batches + events)");
+    println!("  GET /profile   folded profiler stacks (flamegraph-ready)");
+    println!("  GET /slow      tail-latency exemplars (slowest searches, attributed)");
+    println!("  GET /alerts    SLO burn-rate alert states");
     if let Some(path) = std::env::var_os("MIDAS_ADDR_FILE") {
         std::fs::write(&path, addr.to_string()).expect("write MIDAS_ADDR_FILE");
     }
@@ -97,6 +112,10 @@ fn main() {
             report.swaps,
             report.pattern_maintenance_time
         );
+        let firing = midas_obs::alerts::firing();
+        if !firing.is_empty() {
+            println!("batch {tick:>4}: ALERTS FIRING: {}", firing.join(", "));
+        }
         if iters > 0 && tick >= iters {
             break;
         }

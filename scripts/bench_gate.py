@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Regression gate over the kernel bench trajectory.
+
+``cargo bench -p midas-bench --bench kernel`` appends one JSONL record per
+run to ``BENCH_history.jsonl`` (see ``crates/bench/benches/kernel.rs``).
+This script compares the newest record against the *trailing median* of
+the earlier records in the same mode (``quick`` runs are only ever
+compared with ``quick`` runs) and fails when a tracked metric regressed
+beyond its tolerance.
+
+Medians beat "previous run" comparisons: one lucky baseline run cannot
+hide a later regression, one noisy run cannot fail the gate forever.
+
+Policy:
+
+* ``TRACKED`` metrics (the two cached steady-state medians the README
+  quotes) hard-fail the gate when ``latest > tolerance x trailing
+  median``.
+* Every other ``median_ns`` metric is soft: a warning is printed at
+  ``SOFT_TOLERANCE`` but the exit code stays 0, so noisy cold-cache
+  numbers annotate instead of block.
+* ``disabled_probe_ns`` hard-fails above ``PROBE_BUDGET_NS`` — the
+  overhead budget is absolute, not relative.
+* Fewer than ``MIN_BASELINE`` earlier same-mode records: the gate passes
+  with a note (nothing to compare against yet).
+
+Usage:
+    bench_gate.py [--history PATH] [--min-baseline N]
+    bench_gate.py --self-test
+
+Exit codes: 0 pass, 1 regression, 2 usage/invalid history.
+"""
+
+import json
+import statistics
+import sys
+import tempfile
+
+# Metric -> hard tolerance (latest may be at most this multiple of the
+# trailing median).
+TRACKED = {
+    "matrix_build/parallel_cached": 2.0,
+    "apply_batch/parallel_cached_repeat": 2.0,
+}
+
+# Untracked metrics warn (never fail) beyond this multiple.
+SOFT_TOLERANCE = 1.5
+
+# Absolute ceiling for the disabled-probe cost, ns (the bench itself
+# asserts < 50; the gate keeps history honest about it too).
+PROBE_BUDGET_NS = 50.0
+
+# Minimum earlier same-mode records before comparisons start.
+MIN_BASELINE = 2
+
+
+def load_history(path):
+    records = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except json.JSONDecodeError as e:
+                    raise SystemExit(f"FAIL: {path}:{lineno}: invalid JSON: {e}")
+                if "median_ns" not in rec or "quick" not in rec:
+                    raise SystemExit(
+                        f"FAIL: {path}:{lineno}: record missing median_ns/quick"
+                    )
+                records.append(rec)
+    except OSError as e:
+        raise SystemExit(f"FAIL: cannot read history {path}: {e}")
+    return records
+
+
+def gate(records, min_baseline=MIN_BASELINE):
+    """Returns (ok, list of report lines)."""
+    lines = []
+    if not records:
+        return False, ["FAIL: history is empty"]
+    latest = records[-1]
+    mode = bool(latest["quick"])
+    baseline = [r for r in records[:-1] if bool(r["quick"]) == mode]
+    mode_name = "quick" if mode else "full"
+
+    ok = True
+    probe = latest.get("disabled_probe_ns")
+    if probe is not None and float(probe) >= PROBE_BUDGET_NS:
+        ok = False
+        lines.append(
+            f"FAIL disabled_probe_ns: {probe} ns >= budget {PROBE_BUDGET_NS} ns"
+        )
+
+    if len(baseline) < min_baseline:
+        lines.append(
+            f"PASS: only {len(baseline)} earlier {mode_name}-mode record(s) "
+            f"(< {min_baseline}); nothing to gate against yet"
+        )
+        return ok, lines
+
+    for metric, value in sorted(latest["median_ns"].items()):
+        history = [
+            r["median_ns"][metric]
+            for r in baseline
+            if metric in r.get("median_ns", {}) and r["median_ns"][metric] > 0
+        ]
+        if not history or value <= 0:
+            lines.append(f"SKIP {metric}: no usable baseline")
+            continue
+        median = statistics.median(history)
+        ratio = value / median
+        if metric in TRACKED:
+            tol = TRACKED[metric]
+            verdict = "FAIL" if ratio > tol else "PASS"
+            if ratio > tol:
+                ok = False
+            lines.append(
+                f"{verdict} {metric}: {value} ns vs trailing median {median:.0f} ns "
+                f"({ratio:.2f}x, hard limit {tol:.1f}x, n={len(history)})"
+            )
+        elif ratio > SOFT_TOLERANCE:
+            lines.append(
+                f"WARN {metric}: {value} ns vs trailing median {median:.0f} ns "
+                f"({ratio:.2f}x > soft {SOFT_TOLERANCE:.1f}x) — not gating"
+            )
+        else:
+            lines.append(f"ok   {metric}: {ratio:.2f}x of trailing median")
+    return ok, lines
+
+
+def self_test():
+    """The gate's own acceptance check: a synthetic 2x regression of
+    matrix_build/parallel_cached must fail, a flat run must pass."""
+
+    def rec(cached, repeat, probe=0.3, quick=False):
+        return {
+            "unix_ms": 0,
+            "quick": quick,
+            "disabled_probe_ns": probe,
+            "median_ns": {
+                "matrix_build/parallel_cached": cached,
+                "apply_batch/parallel_cached_repeat": repeat,
+                "matrix_build/serial": 10 * cached,
+            },
+        }
+
+    baseline = [rec(100_000, 50_000) for _ in range(3)]
+
+    ok, lines = gate(baseline + [rec(205_000, 50_000)])
+    assert not ok, f"2x regression must fail: {lines}"
+    assert any(l.startswith("FAIL matrix_build/parallel_cached") for l in lines), lines
+
+    ok, lines = gate(baseline + [rec(101_000, 51_000)])
+    assert ok, f"flat run must pass: {lines}"
+
+    # Soft metrics warn, never fail.
+    noisy = rec(100_000, 50_000)
+    noisy["median_ns"]["matrix_build/serial"] = 10_000_000
+    ok, lines = gate(baseline + [noisy])
+    assert ok, f"soft regression must not gate: {lines}"
+    assert any(l.startswith("WARN matrix_build/serial") for l in lines), lines
+
+    # Probe budget is absolute.
+    ok, lines = gate(baseline + [rec(100_000, 50_000, probe=80.0)])
+    assert not ok, f"probe over budget must fail: {lines}"
+
+    # Modes never cross: a quick run is not judged against full baselines.
+    ok, lines = gate(baseline + [rec(1_000_000, 500_000, quick=True)])
+    assert ok, f"first quick run has no baseline, must pass: {lines}"
+
+    # Short history passes with a note.
+    ok, lines = gate([rec(100_000, 50_000), rec(300_000, 50_000)])
+    assert ok, f"single-record baseline must pass: {lines}"
+
+    # End-to-end through a file, exercising the JSONL loader.
+    with tempfile.NamedTemporaryFile("w", suffix=".jsonl", delete=False) as fh:
+        for r in baseline + [rec(205_000, 50_000)]:
+            fh.write(json.dumps(r) + "\n")
+        path = fh.name
+    ok, _ = gate(load_history(path))
+    assert not ok, "file round-trip must preserve the failure"
+
+    print("bench_gate self-test: OK")
+
+
+def main(argv):
+    history = "BENCH_history.jsonl"
+    min_baseline = MIN_BASELINE
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg == "--self-test":
+            self_test()
+            return 0
+        elif arg == "--history" and args:
+            history = args.pop(0)
+        elif arg == "--min-baseline" and args:
+            min_baseline = int(args.pop(0))
+        else:
+            print(__doc__)
+            return 2
+    ok, lines = gate(load_history(history), min_baseline)
+    for line in lines:
+        print(line)
+    print("bench gate:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

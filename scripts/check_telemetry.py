@@ -13,7 +13,8 @@ Two modes:
   saved responses of `GET /metrics` (Prometheus text exposition 0.0.4),
   `GET /healthz` and `GET /flight`.
 
-      check_telemetry.py --prom <metrics.txt> [--healthz <healthz.json>] [--flight <flight.json>]
+      check_telemetry.py --prom <metrics.txt> [--healthz <healthz.json>] [--flight <flight.json>] \
+                         [--profile <profile.folded>] [--slow <slow.json>] [--alerts <alerts.json>]
 
 Fails loudly on drift so exporter changes are deliberate.
 """
@@ -89,8 +90,15 @@ def check_trace(path):
         for field in EVENT_FIELDS:
             if field not in event:
                 fail(f"{path}: event missing field {field!r}: {event}")
-        if event["ph"] != "X":
-            fail(f"{path}: unexpected phase {event['ph']!r} (complete events only)")
+        if event["ph"] not in ("X", "P"):
+            fail(f"{path}: unexpected phase {event['ph']!r} "
+                 "(complete 'X' and sample 'P' events only)")
+        if event["ph"] == "P":
+            stack = event.get("args", {}).get("stack")
+            if not isinstance(stack, str) or not stack:
+                fail(f"{path}: sample event missing args.stack: {event}")
+            if event["dur"] != 0:
+                fail(f"{path}: sample event with nonzero dur: {event}")
         names.add(event["name"])
     for name in ["batch.ingest", "batch.fct"]:
         if name not in names:
@@ -159,16 +167,23 @@ def check_prom(path):
 def check_healthz(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("status") != "ok":
-        fail(f"{path}: status is {doc.get('status')!r}, expected 'ok'")
+    if doc.get("status") not in ("ok", "alerting"):
+        fail(f"{path}: status is {doc.get('status')!r}, expected 'ok' or 'alerting'")
     for field in ["uptime_s", "drift", "batches"]:
         if not isinstance(doc.get(field), (int, float)):
             fail(f"{path}: field {field!r} missing or non-numeric")
     if not isinstance(doc.get("telemetry_enabled"), bool):
         fail(f"{path}: field 'telemetry_enabled' missing")
+    firing = doc.get("alerts_firing")
+    if not isinstance(firing, list):
+        fail(f"{path}: field 'alerts_firing' missing or not a list")
+    if (doc["status"] == "alerting") != bool(firing):
+        fail(f"{path}: status {doc['status']!r} inconsistent with "
+             f"alerts_firing {firing!r}")
     if doc["batches"] < 1:
         fail(f"{path}: no batches recorded; daemon did no work")
-    print(f"{path}: ok ({doc['batches']} batches, drift {doc['drift']})")
+    print(f"{path}: ok ({doc['batches']} batches, drift {doc['drift']}, "
+          f"{len(firing)} firing)")
 
 
 def check_flight(path):
@@ -195,6 +210,105 @@ def check_flight(path):
           f"{doc['total_batches']} total batches)")
 
 
+FOLDED_LINE = re.compile(r"^(?P<stack>\S+(?:;\S+)*) (?P<count>[1-9][0-9]*)$")
+
+
+def check_profile(path, require_nonempty=True):
+    """Validates a saved `GET /profile` body as collapsed-stack text."""
+    with open(path) as f:
+        text = f.read()
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines:
+        if require_nonempty:
+            fail(f"{path}: folded profile is empty (sampler never fired?)")
+        print(f"{path}: ok (empty profile allowed)")
+        return
+    stacks = set()
+    samples = 0
+    for lineno, line in enumerate(lines, start=1):
+        m = FOLDED_LINE.match(line)
+        if not m:
+            fail(f"{path}:{lineno}: not a 'frame;frame count' line: {line!r}")
+        stack = m.group("stack")
+        if stack in stacks:
+            fail(f"{path}:{lineno}: duplicate stack {stack!r} (not aggregated)")
+        stacks.add(stack)
+        samples += int(m.group("count"))
+    if sorted(stacks) != [m.group("stack") for l in lines
+                          for m in [FOLDED_LINE.match(l)]]:
+        fail(f"{path}: stacks not sorted (output must be deterministic)")
+    print(f"{path}: ok ({len(stacks)} distinct stacks, {samples} samples)")
+
+
+def check_slow(path, require_series=("vf2.search_ns",)):
+    """Validates a saved `GET /slow` body (exemplar reservoirs)."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc.get("reservoir_k"), int) or doc["reservoir_k"] < 1:
+        fail(f"{path}: reservoir_k missing")
+    series = doc.get("series")
+    if not isinstance(series, dict):
+        fail(f"{path}: series missing")
+    for name, s in series.items():
+        if s.get("unit") not in ("ns", "us"):
+            fail(f"{path}: series {name!r} has bad unit {s.get('unit')!r}")
+        if not isinstance(s.get("offered"), int):
+            fail(f"{path}: series {name!r} missing 'offered'")
+        top = s.get("top")
+        if not isinstance(top, list) or len(top) > doc["reservoir_k"]:
+            fail(f"{path}: series {name!r} top missing or over capacity")
+        values = []
+        for ex in top:
+            for field in ["value", "pattern", "graph", "seq"]:
+                if field not in ex:
+                    fail(f"{path}: series {name!r} exemplar missing {field!r}: {ex}")
+            values.append(ex["value"])
+        if values != sorted(values, reverse=True):
+            fail(f"{path}: series {name!r} exemplars not sorted descending")
+    for name in require_series:
+        top = series.get(name, {}).get("top")
+        if not top:
+            fail(f"{path}: required series {name!r} missing or empty")
+        attributed = [e for e in top if e["pattern"] is not None
+                      and e["graph"] is not None]
+        if not attributed:
+            fail(f"{path}: series {name!r} has no attributed exemplars "
+                 "(pattern/graph context never set)")
+    print(f"{path}: ok ({len(series)} series)")
+
+
+def check_alerts(path, expect_firing=None):
+    """Validates a saved `GET /alerts` body; `expect_firing` optionally
+    names an alert that must be in the firing state."""
+    with open(path) as f:
+        doc = json.load(f)
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(f"{path}: config missing")
+    for field in ["phase_budget_us", "vf2_budget_ns", "allowed_ppm", "burn_milli"]:
+        if not isinstance(config.get(field), int):
+            fail(f"{path}: config missing {field!r}")
+    alerts = doc.get("alerts")
+    if not isinstance(alerts, list):
+        fail(f"{path}: alerts missing")
+    states = {}
+    for a in alerts:
+        for field in ["name", "state", "budget", "unit", "fast_burn", "slow_burn",
+                      "fast_count", "fast_violations", "slow_count",
+                      "slow_violations"]:
+            if field not in a:
+                fail(f"{path}: alert missing field {field!r}: {a}")
+        if a["state"] not in ("ok", "pending", "firing"):
+            fail(f"{path}: bad alert state {a['state']!r}")
+        if a["fast_count"] == 0 and a["state"] == "firing":
+            fail(f"{path}: alert {a['name']!r} fires on an empty fast window")
+        states[a["name"]] = a["state"]
+    if expect_firing is not None and states.get(expect_firing) != "firing":
+        fail(f"{path}: expected {expect_firing!r} to be firing, states: {states}")
+    print(f"{path}: ok ({len(alerts)} alerts, "
+          f"{sum(1 for s in states.values() if s == 'firing')} firing)")
+
+
 def main():
     args = sys.argv[1:]
     if "--prom" in args:
@@ -206,13 +320,21 @@ def main():
             check_healthz(opts["--healthz"])
         if "--flight" in opts:
             check_flight(opts["--flight"])
+        if "--profile" in opts:
+            check_profile(opts["--profile"])
+        if "--slow" in opts:
+            check_slow(opts["--slow"])
+        if "--alerts" in opts:
+            check_alerts(opts["--alerts"], opts.get("--expect-firing"))
         print("live endpoint check passed")
         return
     if len(args) != 2:
         fail(
             "usage: check_telemetry.py <metrics.json> <trace.json>\n"
             "   or: check_telemetry.py --prom <metrics.txt> "
-            "[--healthz <healthz.json>] [--flight <flight.json>]"
+            "[--healthz <healthz.json>] [--flight <flight.json>] "
+            "[--profile <profile.folded>] [--slow <slow.json>] "
+            "[--alerts <alerts.json>] [--expect-firing <name>]"
         )
     check_metrics(args[0])
     check_trace(args[1])
