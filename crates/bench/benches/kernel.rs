@@ -14,7 +14,7 @@
 
 use criterion::{BatchSize, Criterion};
 use midas_datagen::{DatasetKind, DatasetSpec};
-use midas_graph::{GraphDb, GraphId, LabeledGraph, MatchKernel};
+use midas_graph::{GraphDb, GraphId, LabeledGraph, MatchKernel, MatcherKind};
 use midas_index::{FctIndex, PatternId};
 use midas_mining::{tree_key, TreeKey};
 use rand::rngs::StdRng;
@@ -161,17 +161,34 @@ fn main() {
         b.iter(|| black_box(serial_build(&s)))
     });
     c.bench_function("matrix_build/parallel", |b| {
-        // Fresh cache every iteration: pure parallel speedup.
+        // Fresh cache every iteration: pure parallel speedup. Pinned to
+        // the VF2 matcher so the scenario keeps measuring the reference
+        // twin now that kernels default to the plan path.
         b.iter_batched(
-            || MatchKernel::new(THREADS),
+            || MatchKernel::with_matcher(THREADS, MatcherKind::Vf2),
             |kernel| black_box(kernel_build(&s, &kernel)),
             BatchSize::LargeInput,
         )
     });
-    let warm = MatchKernel::new(THREADS);
+    let warm = MatchKernel::with_matcher(THREADS, MatcherKind::Vf2);
     kernel_build(&s, &warm); // warm the memo once
     c.bench_function("matrix_build/parallel_cached", |b| {
         b.iter(|| black_box(kernel_build(&s, &warm)))
+    });
+
+    // --- Plan-compiled matcher: the cold single-thread build ------------
+    // Fresh embedding cache per iteration, one worker: the direct
+    // replacement for the serial VF2 cold path above. Pattern plans are
+    // memoized per canonical class in the process-wide plan cache, so
+    // after the first iteration the measured work is CSR construction
+    // plus the plan searches themselves — exactly the steady state a
+    // maintenance round sees.
+    c.bench_function("matrix_build/plan_serial", |b| {
+        b.iter_batched(
+            || MatchKernel::with_matcher(1, MatcherKind::Plan),
+            |kernel| black_box(kernel_build(&s, &kernel)),
+            BatchSize::LargeInput,
+        )
     });
 
     // --- Batch maintenance: 5% insertion, TG columns --------------------
@@ -192,7 +209,12 @@ fn main() {
     });
     c.bench_function("apply_batch/parallel", |b| {
         b.iter_batched(
-            || (base.clone(), MatchKernel::new(THREADS)),
+            || {
+                (
+                    base.clone(),
+                    MatchKernel::with_matcher(THREADS, MatcherKind::Vf2),
+                )
+            },
             |(mut index, kernel)| {
                 index.add_graphs_kernel(&kernel, &batch_refs);
                 black_box(index)
@@ -200,7 +222,24 @@ fn main() {
             BatchSize::LargeInput,
         )
     });
-    let warm_batch = MatchKernel::new(THREADS);
+    c.bench_function("apply_batch/plan_serial", |b| {
+        // The plan matcher on a cold cache, one worker: each batch graph
+        // costs one CSR build plus a plan search per feature.
+        b.iter_batched(
+            || {
+                (
+                    base.clone(),
+                    MatchKernel::with_matcher(1, MatcherKind::Plan),
+                )
+            },
+            |(mut index, kernel)| {
+                index.add_graphs_kernel(&kernel, &batch_refs);
+                black_box(index)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    let warm_batch = MatchKernel::with_matcher(THREADS, MatcherKind::Vf2);
     {
         let mut scratch = base.clone();
         scratch.add_graphs_kernel(&warm_batch, &batch_refs); // warm once
@@ -234,10 +273,21 @@ fn main() {
     };
     midas_obs::set_enabled(true);
     let telemetry_base = midas_obs::MetricsSnapshot::capture();
-    let observed = MatchKernel::new(THREADS);
+    let observed = MatchKernel::with_matcher(THREADS, MatcherKind::Vf2);
     kernel_build(&s, &observed); // cold: all misses
     kernel_build(&s, &observed); // warm: all hits
     let telemetry = midas_obs::MetricsSnapshot::capture().since(&telemetry_base);
+    // Plan-matcher pass: fresh compiles (bypassing the process-wide plan
+    // cache) for compile-time stats, then a cold + warm build through a
+    // plan kernel for search latency, intersection and pruning counters.
+    let plan_base = midas_obs::MetricsSnapshot::capture();
+    for (_, t) in &s.features {
+        black_box(midas_graph::MatchPlan::compile(t));
+    }
+    let observed_plan = MatchKernel::with_matcher(THREADS, MatcherKind::Plan);
+    kernel_build(&s, &observed_plan); // cold: all misses
+    kernel_build(&s, &observed_plan); // warm: all hits
+    let plan_telemetry = midas_obs::MetricsSnapshot::capture().since(&plan_base);
     midas_obs::set_enabled(false);
     let cache_stats = observed.cache().stats();
     let hit_rate = cache_stats.hit_rate();
@@ -253,6 +303,13 @@ fn main() {
     let vf2_latency = telemetry.histogram("vf2.search_ns");
     let vf2_search_p50_ns = vf2_latency.quantile(0.5);
     let vf2_search_p99_ns = vf2_latency.quantile(0.99);
+    // The plan-path equivalents of the VF2 percentiles, from the same
+    // log₂ histograms `/metrics` exposes.
+    let plan_latency = plan_telemetry.histogram("plan.search_ns");
+    let plan_search_p50_ns = plan_latency.quantile(0.5);
+    let plan_search_p99_ns = plan_latency.quantile(0.99);
+    let plan_compile = plan_telemetry.histogram("plan.compile_ns");
+    let plan_compile_p50_ns = plan_compile.quantile(0.5);
 
     // --- Report ---------------------------------------------------------
     let results = c.take_results();
@@ -274,6 +331,8 @@ fn main() {
     let build_cached_speedup = ratio("matrix_build/serial", "matrix_build/parallel_cached");
     let batch_speedup = ratio("apply_batch/serial", "apply_batch/parallel");
     let batch_repeat_speedup = ratio("apply_batch/serial", "apply_batch/parallel_cached_repeat");
+    let plan_build_speedup = ratio("matrix_build/serial", "matrix_build/plan_serial");
+    let plan_batch_speedup = ratio("apply_batch/serial", "apply_batch/plan_serial");
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::from("{\n");
@@ -291,13 +350,19 @@ fn main() {
     }
     json.push_str("  },\n");
     json.push_str(&format!(
-        "  \"speedups\": {{\n    \"matrix_build_parallel\": {build_speedup:.2},\n    \"matrix_build_parallel_cached\": {build_cached_speedup:.2},\n    \"apply_batch_parallel\": {batch_speedup:.2},\n    \"apply_batch_repeat_cached\": {batch_repeat_speedup:.2}\n  }},\n"
+        "  \"speedups\": {{\n    \"matrix_build_parallel\": {build_speedup:.2},\n    \"matrix_build_parallel_cached\": {build_cached_speedup:.2},\n    \"matrix_build_plan_serial\": {plan_build_speedup:.2},\n    \"apply_batch_parallel\": {batch_speedup:.2},\n    \"apply_batch_repeat_cached\": {batch_repeat_speedup:.2},\n    \"apply_batch_plan_serial\": {plan_batch_speedup:.2}\n  }},\n"
     ));
     json.push_str(&format!(
-        "  \"telemetry\": {{\n    \"disabled_probe_ns\": {probe_ns:.2},\n    \"cache_hit_rate\": {hit_rate:.4},\n    \"prefilter_reject_rate\": {prefilter_reject_rate:.4},\n    \"vf2_search_p50_ns\": {vf2_search_p50_ns},\n    \"vf2_search_p99_ns\": {vf2_search_p99_ns},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"prefilter_rejects\": {prefilter_rejects},\n    \"vf2_nodes\": {}\n  }}\n",
+        "  \"telemetry\": {{\n    \"disabled_probe_ns\": {probe_ns:.2},\n    \"cache_hit_rate\": {hit_rate:.4},\n    \"prefilter_reject_rate\": {prefilter_reject_rate:.4},\n    \"vf2_search_p50_ns\": {vf2_search_p50_ns},\n    \"vf2_search_p99_ns\": {vf2_search_p99_ns},\n    \"cache_hits\": {},\n    \"cache_misses\": {},\n    \"prefilter_rejects\": {prefilter_rejects},\n    \"vf2_nodes\": {},\n    \"plan_search_p50_ns\": {plan_search_p50_ns},\n    \"plan_search_p99_ns\": {plan_search_p99_ns},\n    \"plan_compile_p50_ns\": {plan_compile_p50_ns},\n    \"plan_compiles\": {},\n    \"plan_cache_hits\": {},\n    \"plan_searches\": {},\n    \"plan_intersections\": {},\n    \"plan_candidates_pruned\": {},\n    \"plan_prefilter_rejects\": {}\n  }}\n",
         cache_stats.hits,
         cache_stats.misses,
-        telemetry.counter("vf2.nodes")
+        telemetry.counter("vf2.nodes"),
+        plan_telemetry.counter("plan.compiles"),
+        plan_telemetry.counter("plan.cache_hits"),
+        plan_telemetry.counter("plan.searches"),
+        plan_telemetry.counter("plan.intersections"),
+        plan_telemetry.counter("plan.candidates_pruned"),
+        plan_telemetry.counter("plan.prefilter_rejects")
     ));
     json.push_str("}\n");
     // The headline report tracks the full-size scenario only; a quick run
@@ -312,6 +377,12 @@ fn main() {
     println!(
         "apply_batch parallel speedup {batch_speedup:.2}x (target >= 3x), \
          repeated cached {batch_repeat_speedup:.2}x (target >= 10x)"
+    );
+    println!(
+        "plan matcher: matrix_build {plan_build_speedup:.2}x vs serial VF2 \
+         (target >= 5x), apply_batch {plan_batch_speedup:.2}x, \
+         search p50 {plan_search_p50_ns}ns p99 {plan_search_p99_ns}ns, \
+         compile p50 {plan_compile_p50_ns}ns"
     );
     println!(
         "telemetry: disabled probe {probe_ns:.2}ns, cache hit rate {:.1}%, \

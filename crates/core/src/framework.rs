@@ -122,6 +122,9 @@ impl Midas {
         }
         config.telemetry = config.telemetry.from_env();
         config.telemetry.activate();
+        if let Some(matcher) = midas_graph::MatcherKind::from_env() {
+            config.matcher = matcher;
+        }
         // Live observability: bind the HTTP endpoints and arm the flight
         // recorder before any batch runs, so the very first crash or scrape
         // already has context.
@@ -160,7 +163,7 @@ impl Midas {
             &config.selection(),
         ));
         let monitor = GraphletMonitor::build(&db);
-        let kernel = MatchKernel::new(config.threads);
+        let kernel = MatchKernel::with_matcher(config.threads, config.matcher);
         let (fct_index, ife_index) = build_indices(&db, &fct_state, &patterns, &config, &kernel);
         let mut midas = Midas {
             config,

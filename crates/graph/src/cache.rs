@@ -34,10 +34,12 @@
 //! invalidating both keeps the contract independent of that detail).
 
 use crate::canonical::{canonical_code, CanonicalCode};
+use crate::csr::Csr;
 use crate::db::GraphId;
+use crate::fasthash::FxHashMap;
 use crate::graph::LabeledGraph;
 use crate::isomorphism::{count_embeddings, GraphSignature};
-use std::collections::{hash_map, HashMap};
+use crate::plan::{self, MatcherKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -53,6 +55,9 @@ pub struct CachedPattern {
     key: CanonicalCode,
     sig: GraphSignature,
     fingerprint: u64,
+    /// Pattern-local memo of the compiled plan, so the per-probe cost is
+    /// one atomic load instead of a global-cache round trip.
+    plan: std::sync::OnceLock<Arc<crate::plan::MatchPlan>>,
 }
 
 impl CachedPattern {
@@ -70,6 +75,7 @@ impl CachedPattern {
             key,
             sig: GraphSignature::of(pattern),
             fingerprint,
+            plan: std::sync::OnceLock::new(),
         }
     }
 
@@ -92,6 +98,20 @@ impl CachedPattern {
     /// The pattern's quick-reject signature.
     pub fn signature(&self) -> &GraphSignature {
         &self.sig
+    }
+
+    /// The pattern's compiled match plan, compiled at most once per
+    /// canonical class per process (via [`plan::cached_plan`]) and then
+    /// pinned in this instance, so repeat probes skip the global cache.
+    pub fn plan(&self) -> std::sync::Arc<crate::plan::MatchPlan> {
+        self.plan_ref().clone()
+    }
+
+    /// Borrowing twin of [`Self::plan`] for hot loops — no refcount
+    /// traffic.
+    pub fn plan_ref(&self) -> &std::sync::Arc<crate::plan::MatchPlan> {
+        self.plan
+            .get_or_init(|| plan::cached_plan(&self.key, &self.graph))
     }
 }
 
@@ -122,8 +142,48 @@ impl StoredCount {
 struct GraphEntry {
     /// Lazily computed quick-reject signature of the graph.
     sig: Option<Arc<GraphSignature>>,
-    /// Capped embedding counts per pattern canonical key.
-    counts: HashMap<CanonicalCode, StoredCount>,
+    /// Lazily built CSR view of the graph, for the plan-compiled matcher.
+    /// Dropped with the entry on invalidation, like the signature.
+    csr: Option<Arc<Csr>>,
+    /// Capped embedding counts per pattern, as `(fingerprint, key, count)`
+    /// rows. A flat vector beats a per-graph hash map here: the feature
+    /// set probed against one graph is small (a TG-matrix row, typically
+    /// tens of patterns), a probe sweep touches a couple of contiguous
+    /// cache lines instead of scattered buckets, and the 64-bit
+    /// fingerprint prescreen makes full key compares rare.
+    counts: Vec<(u64, CanonicalCode, StoredCount)>,
+}
+
+impl GraphEntry {
+    /// The stored count for `key`, if any.
+    fn find(&self, fingerprint: u64, key: &CanonicalCode) -> Option<&StoredCount> {
+        self.counts
+            .iter()
+            .find(|(fp, k, _)| *fp == fingerprint && k == key)
+            .map(|(_, _, stored)| stored)
+    }
+
+    /// Inserts `stored` for `key`, keeping whichever of the racing
+    /// computations knows more (the higher cap). Returns `true` when a
+    /// fresh row was added (the insertion-accounting event).
+    fn store(&mut self, fingerprint: u64, key: &CanonicalCode, stored: StoredCount) -> bool {
+        match self
+            .counts
+            .iter_mut()
+            .find(|(fp, k, _)| *fp == fingerprint && k == key)
+        {
+            Some((_, _, existing)) => {
+                if stored.cap > existing.cap {
+                    *existing = stored;
+                }
+                false
+            }
+            None => {
+                self.counts.push((fingerprint, key.clone(), stored));
+                true
+            }
+        }
+    }
 }
 
 /// One lock shard: the memoized entries plus a shard-local invalidation
@@ -134,7 +194,7 @@ struct GraphEntry {
 /// the old graph.
 #[derive(Debug, Default)]
 struct Shard {
-    map: HashMap<GraphId, GraphEntry>,
+    map: FxHashMap<GraphId, GraphEntry>,
     generation: u64,
 }
 
@@ -254,7 +314,8 @@ impl EmbeddingCache {
     }
 
     /// Counts embeddings of `pattern` in `(id, target)`, saturating at
-    /// `cap`, consulting and updating the memo.
+    /// `cap`, consulting and updating the memo. This is the VF2 reference
+    /// route; [`Self::count_embeddings_with`] selects the matcher.
     pub fn count_embeddings(
         &self,
         pattern: &CachedPattern,
@@ -265,6 +326,84 @@ impl EmbeddingCache {
         self.count_embeddings_impl(pattern, id, target, cap, |p, t, c| {
             count_embeddings(p, t, c)
         })
+    }
+
+    /// [`Self::count_embeddings`] routed through the selected matcher. The
+    /// plan route memoizes the target's [`Csr`] in the graph entry next to
+    /// its signature, so a cold matrix column builds each view once.
+    pub fn count_embeddings_with(
+        &self,
+        matcher: MatcherKind,
+        pattern: &CachedPattern,
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+    ) -> u64 {
+        match matcher {
+            MatcherKind::Vf2 => self.count_embeddings(pattern, id, target, cap),
+            MatcherKind::Plan => self.count_embeddings_plan(pattern, id, target, cap),
+        }
+    }
+
+    /// The plan-matcher body of [`Self::count_embeddings_with`]: same memo
+    /// protocol as the VF2 seam (stored-entry fast path, epoch-gated
+    /// insertion), but the miss computation runs the compiled plan over
+    /// the memoized CSR view. No [`GraphSignature`] is built on this
+    /// route — the plan interpreter's own size/label-demand prefilter
+    /// costs two array compares against the CSR label index, cheaper than
+    /// building and storing the signature it would replace.
+    fn count_embeddings_plan(
+        &self,
+        pattern: &CachedPattern,
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+    ) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        let mut target_csr: Option<Arc<Csr>> = None;
+        let observed_generation;
+        {
+            let shard = self.read_shard(id);
+            observed_generation = shard.generation;
+            if let Some(entry) = shard.map.get(&id) {
+                if let Some(stored) = entry.find(pattern.fingerprint, &pattern.key) {
+                    if let Some(answer) = stored.serve(cap) {
+                        self.record_hits(1);
+                        return answer;
+                    }
+                }
+                target_csr = entry.csr.clone();
+            }
+        }
+        let csr = target_csr
+            .get_or_insert_with(|| Arc::new(Csr::from_graph(target)))
+            .clone();
+        let stored = {
+            let _ctx = midas_obs::enabled()
+                .then(|| midas_obs::exemplar::with_context(pattern.fingerprint, id.0));
+            StoredCount {
+                cap,
+                count: pattern.plan_ref().count_embeddings(&csr, cap),
+            }
+        };
+        self.record_misses(1);
+        let answer = stored.serve(cap).expect("fresh entry serves its own cap");
+        let mut shard = self.write_shard(id);
+        if shard.generation != observed_generation {
+            // Invalidated mid-compute: serve, don't memoize (see
+            // `count_embeddings_impl`).
+            return answer;
+        }
+        let entry = shard.map.entry(id).or_default();
+        if let Some(csr) = target_csr {
+            entry.csr.get_or_insert(csr);
+        }
+        if entry.store(pattern.fingerprint, &pattern.key, stored) {
+            self.record_insertions(1);
+        }
+        answer
     }
 
     /// The body of [`Self::count_embeddings`] with the VF2 search
@@ -289,7 +428,7 @@ impl EmbeddingCache {
             let shard = self.read_shard(id);
             observed_generation = shard.generation;
             if let Some(entry) = shard.map.get(&id) {
-                if let Some(stored) = entry.counts.get(&pattern.key) {
+                if let Some(stored) = entry.find(pattern.fingerprint, &pattern.key) {
                     if let Some(answer) = stored.serve(cap) {
                         self.record_hits(1);
                         return answer;
@@ -328,28 +467,36 @@ impl EmbeddingCache {
         }
         let entry = shard.map.entry(id).or_default();
         entry.sig.get_or_insert(target_sig);
-        // Keep whichever of the racing computations knows more.
-        match entry.counts.entry(pattern.key.clone()) {
-            hash_map::Entry::Vacant(slot) => {
-                slot.insert(stored);
-                self.record_insertions(1);
-            }
-            hash_map::Entry::Occupied(mut slot) => {
-                if stored.cap > slot.get().cap {
-                    *slot.get_mut() = stored;
-                }
-            }
+        if entry.store(pattern.fingerprint, &pattern.key, stored) {
+            self.record_insertions(1);
         }
         answer
     }
 
     /// Counts embeddings of every pattern in `(id, target)` in one pass:
-    /// a single read-lock sweep serves all memoized answers, VF2 runs only
-    /// for the gaps, and a single write lock stores the fresh entries.
-    /// Equivalent to (but cheaper than) one [`Self::count_embeddings`] call
-    /// per pattern — this is the inner loop of a matrix-column build.
+    /// a single read-lock sweep serves all memoized answers, the matcher
+    /// runs only for the gaps, and a single write lock stores the fresh
+    /// entries. Equivalent to (but cheaper than) one
+    /// [`Self::count_embeddings`] call per pattern — this is the inner
+    /// loop of a matrix-column build. The VF2 reference route; see
+    /// [`Self::count_embeddings_many_with`].
     pub fn count_embeddings_many(
         &self,
+        patterns: &[CachedPattern],
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+    ) -> Vec<u64> {
+        self.count_embeddings_many_with(MatcherKind::Vf2, patterns, id, target, cap)
+    }
+
+    /// [`Self::count_embeddings_many`] routed through the selected
+    /// matcher. Under [`MatcherKind::Plan`] the target's CSR view is built
+    /// (or fetched from the memo) once for the whole batch, and each gap
+    /// runs its canonical-class plan over it.
+    pub fn count_embeddings_many_with(
+        &self,
+        matcher: MatcherKind,
         patterns: &[CachedPattern],
         id: GraphId,
         target: &LabeledGraph,
@@ -359,23 +506,35 @@ impl EmbeddingCache {
             return vec![0; patterns.len()];
         }
         let mut out: Vec<Option<u64>> = vec![None; patterns.len()];
-        let mut target_sig: Option<Arc<GraphSignature>> = None;
+        let mut target_sig: Option<Arc<GraphSignature>>;
+        let mut target_csr: Option<Arc<Csr>>;
         let mut hits = 0u64;
         let observed_generation;
         {
             let shard = self.read_shard(id);
             observed_generation = shard.generation;
-            if let Some(entry) = shard.map.get(&id) {
-                target_sig = entry.sig.clone();
-                for (slot, p) in out.iter_mut().zip(patterns) {
-                    if let Some(answer) = entry
-                        .counts
-                        .get(&p.key)
-                        .and_then(|stored| stored.serve(cap))
-                    {
-                        *slot = Some(answer);
-                        hits += 1;
-                    }
+            let Some(entry) = shard.map.get(&id) else {
+                // Never-seen graph: every pattern is a miss, so skip the
+                // hit bookkeeping entirely (the bootstrap hot path).
+                drop(shard);
+                return self.count_many_all_cold(
+                    matcher,
+                    patterns,
+                    id,
+                    target,
+                    cap,
+                    observed_generation,
+                );
+            };
+            target_sig = entry.sig.clone();
+            target_csr = entry.csr.clone();
+            for (slot, p) in out.iter_mut().zip(patterns) {
+                if let Some(answer) = entry
+                    .find(p.fingerprint, &p.key)
+                    .and_then(|stored| stored.serve(cap))
+                {
+                    *slot = Some(answer);
+                    hits += 1;
                 }
             }
         }
@@ -385,13 +544,27 @@ impl EmbeddingCache {
         if out.iter().all(Option::is_some) {
             return out.into_iter().map(|s| s.expect("checked")).collect();
         }
-        let target_sig = target_sig.unwrap_or_else(|| Arc::new(GraphSignature::of(target)));
+        // The signature prefilter is a VF2-route optimization; the plan
+        // interpreter carries its own cheaper prefilter, so the plan
+        // route skips signatures entirely (see `count_embeddings_plan`).
+        if matcher == MatcherKind::Vf2 && target_sig.is_none() {
+            target_sig = Some(Arc::new(GraphSignature::of(target)));
+        }
+        // Past the all-hits return there is at least one gap, so the plan
+        // route always needs the CSR view; build it once for the batch.
+        if matcher == MatcherKind::Plan && target_csr.is_none() {
+            target_csr = Some(Arc::new(Csr::from_graph(target)));
+        }
         let mut fresh: Vec<(usize, StoredCount)> = Vec::new();
         for (i, p) in patterns.iter().enumerate() {
             if out[i].is_some() {
                 continue;
             }
-            let stored = if !p.sig.may_embed_in(&target_sig) {
+            let rejected = matches!(
+                (&matcher, &target_sig),
+                (MatcherKind::Vf2, Some(sig)) if !p.sig.may_embed_in(sig)
+            );
+            let stored = if rejected {
                 midas_obs::counter_add!("vf2.prefilter_rejects", 1);
                 StoredCount {
                     cap: u64::MAX,
@@ -400,10 +573,14 @@ impl EmbeddingCache {
             } else {
                 let _ctx = midas_obs::enabled()
                     .then(|| midas_obs::exemplar::with_context(p.fingerprint, id.0));
-                StoredCount {
-                    cap,
-                    count: count_embeddings(&p.graph, target, cap),
-                }
+                let count = match matcher {
+                    MatcherKind::Vf2 => count_embeddings(&p.graph, target, cap),
+                    MatcherKind::Plan => {
+                        let csr = target_csr.as_deref().expect("built above for plan route");
+                        p.plan_ref().count_embeddings(csr, cap)
+                    }
+                };
+                StoredCount { cap, count }
             };
             out[i] = Some(stored.serve(cap).expect("fresh entry serves its own cap"));
             fresh.push((i, stored));
@@ -416,19 +593,18 @@ impl EmbeddingCache {
             return out.into_iter().map(|s| s.expect("filled")).collect();
         }
         let entry = shard.map.entry(id).or_default();
-        entry.sig.get_or_insert(target_sig);
+        if let Some(sig) = target_sig {
+            entry.sig.get_or_insert(sig);
+        }
+        if let Some(csr) = target_csr {
+            entry.csr.get_or_insert(csr);
+        }
         let mut inserted = 0u64;
+        entry.counts.reserve(fresh.len());
         for (i, stored) in fresh {
-            match entry.counts.entry(patterns[i].key.clone()) {
-                hash_map::Entry::Vacant(slot) => {
-                    slot.insert(stored);
-                    inserted += 1;
-                }
-                hash_map::Entry::Occupied(mut slot) => {
-                    if stored.cap > slot.get().cap {
-                        *slot.get_mut() = stored;
-                    }
-                }
+            let p = &patterns[i];
+            if entry.store(p.fingerprint, &p.key, stored) {
+                inserted += 1;
             }
         }
         if inserted > 0 {
@@ -437,9 +613,97 @@ impl EmbeddingCache {
         out.into_iter().map(|s| s.expect("filled")).collect()
     }
 
+    /// Bootstrap arm of [`Self::count_embeddings_many_with`]: the graph
+    /// has no memo entry yet, so every pattern is a miss. Counts go
+    /// straight into the output vector — no `Option` slots, no hit scan —
+    /// which matters because the bulk build visits every graph exactly
+    /// once and therefore runs entirely through this path.
+    fn count_many_all_cold(
+        &self,
+        matcher: MatcherKind,
+        patterns: &[CachedPattern],
+        id: GraphId,
+        target: &LabeledGraph,
+        cap: u64,
+        observed_generation: u64,
+    ) -> Vec<u64> {
+        let target_sig =
+            (matcher == MatcherKind::Vf2).then(|| Arc::new(GraphSignature::of(target)));
+        let target_csr = (matcher == MatcherKind::Plan).then(|| Arc::new(Csr::from_graph(target)));
+        let mut out: Vec<u64> = Vec::with_capacity(patterns.len());
+        let mut rows: Vec<StoredCount> = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            let rejected = matches!(
+                (&matcher, &target_sig),
+                (MatcherKind::Vf2, Some(sig)) if !p.sig.may_embed_in(sig)
+            );
+            let stored = if rejected {
+                midas_obs::counter_add!("vf2.prefilter_rejects", 1);
+                StoredCount {
+                    cap: u64::MAX,
+                    count: 0,
+                }
+            } else {
+                let _ctx = midas_obs::enabled()
+                    .then(|| midas_obs::exemplar::with_context(p.fingerprint, id.0));
+                let count = match matcher {
+                    MatcherKind::Vf2 => count_embeddings(&p.graph, target, cap),
+                    MatcherKind::Plan => {
+                        let csr = target_csr.as_deref().expect("built above for plan route");
+                        p.plan_ref().count_embeddings(csr, cap)
+                    }
+                };
+                StoredCount { cap, count }
+            };
+            out.push(stored.serve(cap).expect("fresh entry serves its own cap"));
+            rows.push(stored);
+        }
+        self.record_misses(rows.len() as u64);
+        let mut shard = self.write_shard(id);
+        if shard.generation != observed_generation {
+            // Invalidated mid-compute: serve, don't memoize (see
+            // `count_embeddings_impl`).
+            return out;
+        }
+        let entry = shard.map.entry(id).or_default();
+        if let Some(sig) = target_sig {
+            entry.sig.get_or_insert(sig);
+        }
+        if let Some(csr) = target_csr {
+            entry.csr.get_or_insert(csr);
+        }
+        // `store` still dedupes: a racing thread may have populated the
+        // entry between our read probe and this write lock.
+        let mut inserted = 0u64;
+        entry.counts.reserve(rows.len());
+        for (p, stored) in patterns.iter().zip(rows) {
+            if entry.store(p.fingerprint, &p.key, stored) {
+                inserted += 1;
+            }
+        }
+        if inserted > 0 {
+            self.record_insertions(inserted);
+        }
+        out
+    }
+
     /// Whether `pattern ⊆ target`, through the memo (a cap-1 count).
     pub fn is_subgraph(&self, pattern: &CachedPattern, id: GraphId, target: &LabeledGraph) -> bool {
         self.count_embeddings(pattern, id, target, 1) > 0
+    }
+
+    /// [`Self::is_subgraph`] routed through the selected matcher. Under
+    /// [`MatcherKind::Plan`] the cap-1 count stops at the first embedding
+    /// (the interpreter's early exit), so this is the boolean coverage
+    /// fast path.
+    pub fn is_subgraph_with(
+        &self,
+        matcher: MatcherKind,
+        pattern: &CachedPattern,
+        id: GraphId,
+        target: &LabeledGraph,
+    ) -> bool {
+        self.count_embeddings_with(matcher, pattern, id, target, 1) > 0
     }
 
     /// Drops everything memoized about `id`. Call for every graph a batch
@@ -724,6 +988,50 @@ mod tests {
         let again = cache.count_embeddings_many(&patterns, id, &t, 64);
         assert_eq!(again, batch);
         assert_eq!(cache.stats().misses, misses);
+    }
+
+    #[test]
+    fn plan_and_vf2_routes_share_the_memo() {
+        // Entries are keyed by canonical code, not by matcher: the two
+        // routes compute the same answers (the oracle pins this), so a
+        // count stored by one must serve the other.
+        let cache = EmbeddingCache::new();
+        let p = CachedPattern::new(&path(&[0, 0]));
+        let t = triangle();
+        let id = GraphId(11);
+        assert_eq!(
+            cache.count_embeddings_with(MatcherKind::Plan, &p, id, &t, 64),
+            6
+        );
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(
+            cache.count_embeddings_with(MatcherKind::Vf2, &p, id, &t, 64),
+            6
+        );
+        assert_eq!(cache.stats().hits, 1);
+        // Cap upgrades through the plan route stay sound.
+        assert!(cache.is_subgraph_with(MatcherKind::Plan, &p, id, &t));
+        assert_eq!(
+            cache.count_embeddings_with(MatcherKind::Plan, &p, id, &t, 1000),
+            6
+        );
+        // The batched plan route equals the serial VF2 reference,
+        // including the prefilter-zero case.
+        let patterns: Vec<CachedPattern> = [path(&[0, 0]), path(&[0, 9]), triangle()]
+            .iter()
+            .map(CachedPattern::new)
+            .collect();
+        let batch =
+            cache.count_embeddings_many_with(MatcherKind::Plan, &patterns, GraphId(12), &t, 64);
+        for (p, &got) in patterns.iter().zip(&batch) {
+            assert_eq!(got, count_embeddings(p.graph(), &t, 64));
+        }
+        // Plan-route invalidation drops the memoized CSR with the entry.
+        cache.invalidate_graph(id);
+        assert_eq!(
+            cache.count_embeddings_with(MatcherKind::Plan, &p, id, &t, 64),
+            6
+        );
     }
 
     #[test]

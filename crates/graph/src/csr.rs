@@ -1,0 +1,286 @@
+//! Compressed-sparse-row graph storage for the plan-compiled matcher.
+//!
+//! [`crate::LabeledGraph`] stores adjacency as one `Vec` per vertex — fine
+//! for construction and the VF2 reference path, but the plan interpreter
+//! ([`crate::plan`]) wants candidate generation by *label*: "all vertices
+//! with label `l`" and "neighbors of `v` with label `l`" as contiguous,
+//! id-sorted slices it can sorted-merge intersect. [`Csr`] is that layout,
+//! built once per graph and immutable afterwards:
+//!
+//! * `offsets`/`neighbors` — the classic CSR pair. Each vertex's neighbor
+//!   slice is sorted by `(neighbor label, neighbor id)`, so the slice for
+//!   one label is a contiguous run, itself sorted ascending by id.
+//! * `range_offsets`/`label_ranges` — a second CSR level mapping each
+//!   vertex to its per-label runs (`(label, start, end)` into `neighbors`,
+//!   ascending by label).
+//! * `label_index`/`label_vertices` — the global label → vertex index:
+//!   for each distinct label, the ascending list of vertices carrying it.
+//!
+//! Data graphs evolve only at batch boundaries (`D ⊕ ΔD`, §3.1) and are
+//! immutable between them, so [`crate::GraphDb`] simply builds a fresh
+//! `Csr` per inserted graph and drops it on deletion — "kept in sync" by
+//! construction rather than by incremental surgery.
+
+use crate::graph::{LabeledGraph, VertexId};
+use crate::labels::LabelId;
+
+/// Immutable CSR view of a [`LabeledGraph`] with per-label adjacency
+/// slices. See the module docs for the layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// Vertex labels, indexed by vertex id.
+    labels: Vec<LabelId>,
+    /// `neighbors[offsets[v] .. offsets[v+1]]` is `v`'s neighbor slice.
+    offsets: Vec<u32>,
+    /// All neighbor lists, each sorted by `(label, id)`.
+    neighbors: Vec<VertexId>,
+    /// `label_ranges[range_offsets[v] .. range_offsets[v+1]]` are `v`'s
+    /// per-label runs.
+    range_offsets: Vec<u32>,
+    /// `(label, start, end)` runs into `neighbors`, ascending by label
+    /// within each vertex.
+    label_ranges: Vec<(LabelId, u32, u32)>,
+    /// `(label, start, end)` runs into `label_vertices`, ascending by
+    /// label globally.
+    label_index: Vec<(LabelId, u32, u32)>,
+    /// Vertices grouped by label; each group ascending by id.
+    label_vertices: Vec<VertexId>,
+    /// Number of (undirected) edges.
+    edge_count: usize,
+}
+
+impl Csr {
+    /// Builds the CSR representation of `g`.
+    pub fn from_graph(g: &LabeledGraph) -> Self {
+        let n = g.vertex_count();
+        let labels: Vec<LabelId> = g.labels().to_vec();
+
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut neighbors: Vec<VertexId> = Vec::with_capacity(2 * g.edge_count());
+        let mut range_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        range_offsets.push(0);
+        let mut label_ranges: Vec<(LabelId, u32, u32)> = Vec::new();
+
+        for v in g.vertices() {
+            let start = neighbors.len();
+            neighbors.extend_from_slice(g.neighbors(v));
+            let slice = &mut neighbors[start..];
+            slice.sort_unstable_by_key(|&w| (labels[w as usize], w));
+            // Delimit the contiguous per-label runs just produced.
+            let mut run_start = start;
+            while run_start < neighbors.len() {
+                let label = labels[neighbors[run_start] as usize];
+                let mut run_end = run_start + 1;
+                while run_end < neighbors.len() && labels[neighbors[run_end] as usize] == label {
+                    run_end += 1;
+                }
+                label_ranges.push((label, run_start as u32, run_end as u32));
+                run_start = run_end;
+            }
+            offsets.push(neighbors.len() as u32);
+            range_offsets.push(label_ranges.len() as u32);
+        }
+
+        // Global label → vertices index: bucket by label, ids stay sorted
+        // because vertices are visited in ascending order.
+        let mut by_label: Vec<(LabelId, VertexId)> = labels
+            .iter()
+            .enumerate()
+            .map(|(v, &l)| (l, v as VertexId))
+            .collect();
+        by_label.sort_by_key(|&(l, v)| (l, v));
+        let mut label_index: Vec<(LabelId, u32, u32)> = Vec::new();
+        let mut label_vertices: Vec<VertexId> = Vec::with_capacity(n);
+        let mut i = 0;
+        while i < by_label.len() {
+            let label = by_label[i].0;
+            let start = label_vertices.len() as u32;
+            while i < by_label.len() && by_label[i].0 == label {
+                label_vertices.push(by_label[i].1);
+                i += 1;
+            }
+            label_index.push((label, start, label_vertices.len() as u32));
+        }
+
+        Csr {
+            labels,
+            offsets,
+            neighbors,
+            range_offsets,
+            label_ranges,
+            label_index,
+            label_vertices,
+            edge_count: g.edge_count(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The label of vertex `v`.
+    pub fn label(&self, v: VertexId) -> LabelId {
+        self.labels[v as usize]
+    }
+
+    /// The degree of vertex `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// All neighbors of `v`, sorted by `(label, id)`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize]
+    }
+
+    /// The neighbors of `v` carrying `label`, ascending by id (empty when
+    /// none do).
+    pub fn neighbors_with_label(&self, v: VertexId, label: LabelId) -> &[VertexId] {
+        let ranges = &self.label_ranges
+            [self.range_offsets[v as usize] as usize..self.range_offsets[v as usize + 1] as usize];
+        match ranges.binary_search_by_key(&label, |&(l, _, _)| l) {
+            Ok(i) => {
+                let (_, start, end) = ranges[i];
+                &self.neighbors[start as usize..end as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// All vertices carrying `label`, ascending by id (empty when none do).
+    pub fn vertices_with_label(&self, label: LabelId) -> &[VertexId] {
+        match self
+            .label_index
+            .binary_search_by_key(&label, |&(l, _, _)| l)
+        {
+            Ok(i) => {
+                let (_, start, end) = self.label_index[i];
+                &self.label_vertices[start as usize..end as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// The distinct labels present, ascending, with their vertex counts.
+    pub fn label_counts(&self) -> impl Iterator<Item = (LabelId, usize)> + '_ {
+        self.label_index
+            .iter()
+            .map(|&(l, start, end)| (l, (end - start) as usize))
+    }
+
+    /// Whether the edge `{u, v}` is present (binary search within `u`'s
+    /// per-label run for `v`'s label).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.labels.len() || v as usize >= self.labels.len() {
+            return false;
+        }
+        self.neighbors_with_label(u, self.labels[v as usize])
+            .binary_search(&v)
+            .is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn sample() -> LabeledGraph {
+        // Labels: 0:a 1:b 2:a 3:c 4:a — mixed degrees, duplicate labels.
+        GraphBuilder::new()
+            .vertices(&[0, 1, 0, 2, 0])
+            .edge(0, 1)
+            .edge(0, 2)
+            .edge(0, 4)
+            .edge(1, 2)
+            .edge(2, 3)
+            .build()
+    }
+
+    #[test]
+    fn round_trips_adjacency_lists() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.vertex_count(), g.vertex_count());
+        assert_eq!(csr.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            assert_eq!(csr.label(v), g.label(v));
+            assert_eq!(csr.degree(v), g.degree(v));
+            let mut want: Vec<VertexId> = g.neighbors(v).to_vec();
+            want.sort_unstable();
+            let mut got: Vec<VertexId> = csr.neighbors(v).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, want, "neighbor set of {v}");
+            for w in g.vertices() {
+                assert_eq!(csr.has_edge(v, w), g.has_edge(v, w), "edge ({v},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_slices_are_label_grouped_and_sorted() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        for v in g.vertices() {
+            let ns = csr.neighbors(v);
+            // Sorted by (label, id) ⇒ labels non-decreasing, ids ascending
+            // within a label run.
+            for w in ns.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                assert!(
+                    (csr.label(a), a) < (csr.label(b), b),
+                    "neighbors of {v} not (label, id)-sorted"
+                );
+            }
+            // Per-label slices partition the full slice.
+            let mut reassembled: Vec<VertexId> = Vec::new();
+            for (l, _) in csr.label_counts() {
+                let slice = csr.neighbors_with_label(v, l);
+                assert!(slice.windows(2).all(|w| w[0] < w[1]), "label slice sorted");
+                assert!(slice.iter().all(|&w| csr.label(w) == l));
+                reassembled.extend_from_slice(slice);
+            }
+            assert_eq!(reassembled.len(), ns.len());
+        }
+    }
+
+    #[test]
+    fn label_index_lists_every_vertex_once() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        let mut seen: Vec<VertexId> = Vec::new();
+        for (l, count) in csr.label_counts() {
+            let vs = csr.vertices_with_label(l);
+            assert_eq!(vs.len(), count);
+            assert!(vs.windows(2).all(|w| w[0] < w[1]), "vertex list sorted");
+            assert!(vs.iter().all(|&v| csr.label(v) == l));
+            seen.extend_from_slice(vs);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..g.vertex_count() as VertexId).collect::<Vec<_>>());
+        assert!(csr.vertices_with_label(999).is_empty());
+    }
+
+    #[test]
+    fn empty_and_isolated_graphs() {
+        let empty = Csr::from_graph(&LabeledGraph::new());
+        assert_eq!(empty.vertex_count(), 0);
+        assert_eq!(empty.edge_count(), 0);
+        assert!(empty.vertices_with_label(0).is_empty());
+
+        let isolated = GraphBuilder::new().vertices(&[3, 3, 5]).build();
+        let csr = Csr::from_graph(&isolated);
+        assert_eq!(csr.vertices_with_label(3), &[0, 1]);
+        assert_eq!(csr.vertices_with_label(5), &[2]);
+        assert!(csr.neighbors(0).is_empty());
+        assert!(csr.neighbors_with_label(0, 3).is_empty());
+        assert!(!csr.has_edge(0, 1));
+    }
+}

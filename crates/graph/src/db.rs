@@ -6,6 +6,7 @@
 //! matching the paper's assumption that repositories like PubChem are
 //! updated periodically in batches rather than streamed.
 
+use crate::csr::Csr;
 use crate::graph::LabeledGraph;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -66,9 +67,16 @@ impl BatchUpdate {
 /// Graphs are stored behind `Arc` so clusters, indices and summaries can
 /// share them without copying. Iteration is in ascending id order, keeping
 /// all downstream algorithms deterministic.
+///
+/// Every stored graph also carries a [`Csr`] twin ([`GraphDb::csr`]) built
+/// at insertion and dropped at deletion, so the plan-compiled matcher
+/// ([`crate::plan`]) always finds an up-to-date label-sliced view — the
+/// two maps move through [`GraphDb::insert`] / [`GraphDb::remove`] /
+/// [`GraphDb::apply`] together and can never diverge.
 #[derive(Debug, Clone, Default)]
 pub struct GraphDb {
     graphs: BTreeMap<GraphId, Arc<LabeledGraph>>,
+    csrs: BTreeMap<GraphId, Arc<Csr>>,
     next_id: u64,
 }
 
@@ -90,16 +98,20 @@ impl GraphDb {
         db
     }
 
-    /// Inserts a graph, returning its new id.
+    /// Inserts a graph, returning its new id. The CSR twin is built here,
+    /// once, so readers never observe a graph without one.
     pub fn insert(&mut self, graph: LabeledGraph) -> GraphId {
         let id = GraphId(self.next_id);
         self.next_id += 1;
+        self.csrs.insert(id, Arc::new(Csr::from_graph(&graph)));
         self.graphs.insert(id, Arc::new(graph));
         id
     }
 
-    /// Removes the graph `id`, returning it if present.
+    /// Removes the graph `id`, returning it if present. Its CSR twin is
+    /// dropped in the same step.
     pub fn remove(&mut self, id: GraphId) -> Option<Arc<LabeledGraph>> {
+        self.csrs.remove(&id);
         self.graphs.remove(&id)
     }
 
@@ -111,7 +123,7 @@ impl GraphDb {
     pub fn apply(&mut self, update: BatchUpdate) -> (Vec<GraphId>, Vec<GraphId>) {
         let mut deleted = Vec::with_capacity(update.delete.len());
         for id in update.delete {
-            if self.graphs.remove(&id).is_some() {
+            if self.remove(id).is_some() {
                 deleted.push(id);
             }
         }
@@ -122,6 +134,12 @@ impl GraphDb {
     /// Looks up a graph by id.
     pub fn get(&self, id: GraphId) -> Option<&Arc<LabeledGraph>> {
         self.graphs.get(&id)
+    }
+
+    /// The CSR twin of graph `id`, if the graph is live. Kept in lockstep
+    /// with [`GraphDb::get`] by insert/remove/apply.
+    pub fn csr(&self, id: GraphId) -> Option<&Arc<Csr>> {
+        self.csrs.get(&id)
     }
 
     /// Whether `id` resolves to a live graph.
@@ -232,6 +250,54 @@ mod tests {
         let big_id = db.insert(big);
         assert_eq!(db.largest().unwrap().0, big_id);
         assert_eq!(db.total_edges(), 4);
+    }
+
+    /// The CSR map must mirror the graph map exactly: same ids, and each
+    /// CSR agreeing with its graph's adjacency.
+    fn assert_csr_in_sync(db: &GraphDb) {
+        let graph_ids: Vec<GraphId> = db.ids().collect();
+        let csr_ids: Vec<GraphId> = db.csrs.keys().copied().collect();
+        assert_eq!(graph_ids, csr_ids, "csr map diverged from graph map");
+        for (id, g) in db.iter() {
+            let csr = db.csr(id).expect("live graph has a csr twin");
+            assert_eq!(csr.vertex_count(), g.vertex_count());
+            assert_eq!(csr.edge_count(), g.edge_count());
+            for v in g.vertices() {
+                assert_eq!(csr.label(v), g.label(v));
+                let mut want: Vec<_> = g.neighbors(v).to_vec();
+                want.sort_unstable();
+                let mut got: Vec<_> = csr.neighbors(v).to_vec();
+                got.sort_unstable();
+                assert_eq!(got, want, "{id}: neighbor set of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn csr_twins_stay_in_sync_through_batches() {
+        let mut db = GraphDb::from_graphs([tiny(0), tiny(1), tiny(2)]);
+        assert_csr_in_sync(&db);
+        // A few insert/delete batches, including deletes of fresh ids.
+        let ids: Vec<GraphId> = db.ids().collect();
+        db.apply(BatchUpdate {
+            insert: vec![tiny(3), tiny(4)],
+            delete: vec![ids[1]],
+        });
+        assert_csr_in_sync(&db);
+        let ids: Vec<GraphId> = db.ids().collect();
+        db.apply(BatchUpdate::delete_only(vec![ids[0], ids[2], GraphId(999)]));
+        assert_csr_in_sync(&db);
+        db.apply(BatchUpdate::insert_only(vec![GraphBuilder::new()
+            .vertices(&[0, 1, 0])
+            .edge(0, 1)
+            .edge(1, 2)
+            .build()]));
+        assert_csr_in_sync(&db);
+        // Direct insert/remove too.
+        let id = db.insert(tiny(7));
+        assert_csr_in_sync(&db);
+        db.remove(id);
+        assert_csr_in_sync(&db);
     }
 
     #[test]

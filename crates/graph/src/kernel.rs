@@ -20,16 +20,19 @@
 //! property tests in the workspace's `tests` crate pin that equivalence.
 
 use crate::cache::{CachedPattern, EmbeddingCache};
+use crate::csr::Csr;
 use crate::db::GraphId;
 use crate::exec::{self, KernelError};
 use crate::graph::LabeledGraph;
 use crate::isomorphism::count_embeddings;
+use crate::plan::MatcherKind;
 use std::sync::Arc;
 
 /// Parallel, memoized bulk isomorphism operations.
 #[derive(Debug, Clone)]
 pub struct MatchKernel {
     threads: usize,
+    matcher: MatcherKind,
     cache: Arc<EmbeddingCache>,
 }
 
@@ -42,22 +45,39 @@ impl Default for MatchKernel {
 impl MatchKernel {
     /// A kernel with a fresh cache. `threads = 0` means auto (see
     /// [`exec::thread_count`]; the `MIDAS_THREADS` environment variable is
-    /// honoured).
+    /// honoured). The matcher comes from `MIDAS_MATCHER` when set,
+    /// defaulting to the plan-compiled path.
     pub fn new(threads: usize) -> Self {
+        Self::with_matcher(threads, MatcherKind::from_env_or_default())
+    }
+
+    /// A kernel with a fresh cache and an explicit matcher.
+    pub fn with_matcher(threads: usize, matcher: MatcherKind) -> Self {
         MatchKernel {
             threads,
+            matcher,
             cache: Arc::new(EmbeddingCache::new()),
         }
     }
 
-    /// A kernel sharing an existing cache.
+    /// A kernel sharing an existing cache (matcher from the environment /
+    /// default, as in [`MatchKernel::new`]).
     pub fn with_cache(threads: usize, cache: Arc<EmbeddingCache>) -> Self {
-        MatchKernel { threads, cache }
+        MatchKernel {
+            threads,
+            matcher: MatcherKind::from_env_or_default(),
+            cache,
+        }
     }
 
     /// The configured thread override (0 = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The matcher implementation this kernel drives.
+    pub fn matcher(&self) -> MatcherKind {
+        self.matcher
     }
 
     /// The shared embedding memo.
@@ -86,7 +106,8 @@ impl MatchKernel {
     ) -> Vec<u64> {
         let prepared = self.prepare(pattern);
         exec::par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.count_embeddings(&prepared, id, g, cap)
+            self.cache
+                .count_embeddings_with(self.matcher, &prepared, id, g, cap)
         })
     }
 
@@ -100,7 +121,8 @@ impl MatchKernel {
         cap: u64,
     ) -> Vec<Vec<u64>> {
         exec::par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.count_embeddings_many(patterns, id, g, cap)
+            self.cache
+                .count_embeddings_many_with(self.matcher, patterns, id, g, cap)
         })
     }
 
@@ -113,7 +135,7 @@ impl MatchKernel {
     ) -> Vec<bool> {
         let prepared = self.prepare(pattern);
         exec::par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.is_subgraph(&prepared, id, g)
+            self.cache.is_subgraph_with(self.matcher, &prepared, id, g)
         })
     }
 
@@ -126,7 +148,9 @@ impl MatchKernel {
         graphs: &[(GraphId, &LabeledGraph)],
     ) -> Vec<bool> {
         exec::par_map(self.threads, graphs, |&(id, g)| {
-            patterns.iter().any(|p| self.cache.is_subgraph(p, id, g))
+            patterns
+                .iter()
+                .any(|p| self.cache.is_subgraph_with(self.matcher, p, id, g))
         })
     }
 
@@ -138,7 +162,19 @@ impl MatchKernel {
         targets: &[&LabeledGraph],
         cap: u64,
     ) -> Vec<u64> {
-        exec::par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
+        match self.matcher {
+            MatcherKind::Vf2 => {
+                exec::par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
+            }
+            MatcherKind::Plan => {
+                // Compile once (memoized per canonical class); targets
+                // have no stable id, so their CSR views are per-call.
+                let plan = self.prepare(pattern).plan();
+                exec::par_map(self.threads, targets, |t| {
+                    plan.count_embeddings(&Csr::from_graph(t), cap)
+                })
+            }
+        }
     }
 
     /// Fault-isolating twin of [`MatchKernel::count_in_graphs`]: a panic in
@@ -152,7 +188,8 @@ impl MatchKernel {
     ) -> Result<Vec<u64>, KernelError> {
         let prepared = self.prepare(pattern);
         exec::try_par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.count_embeddings(&prepared, id, g, cap)
+            self.cache
+                .count_embeddings_with(self.matcher, &prepared, id, g, cap)
         })
     }
 
@@ -164,7 +201,8 @@ impl MatchKernel {
         cap: u64,
     ) -> Result<Vec<Vec<u64>>, KernelError> {
         exec::try_par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.count_embeddings_many(patterns, id, g, cap)
+            self.cache
+                .count_embeddings_many_with(self.matcher, patterns, id, g, cap)
         })
     }
 
@@ -176,7 +214,7 @@ impl MatchKernel {
     ) -> Result<Vec<bool>, KernelError> {
         let prepared = self.prepare(pattern);
         exec::try_par_map(self.threads, graphs, |&(id, g)| {
-            self.cache.is_subgraph(&prepared, id, g)
+            self.cache.is_subgraph_with(self.matcher, &prepared, id, g)
         })
     }
 
@@ -187,7 +225,9 @@ impl MatchKernel {
         graphs: &[(GraphId, &LabeledGraph)],
     ) -> Result<Vec<bool>, KernelError> {
         exec::try_par_map(self.threads, graphs, |&(id, g)| {
-            patterns.iter().any(|p| self.cache.is_subgraph(p, id, g))
+            patterns
+                .iter()
+                .any(|p| self.cache.is_subgraph_with(self.matcher, p, id, g))
         })
     }
 
@@ -198,7 +238,17 @@ impl MatchKernel {
         targets: &[&LabeledGraph],
         cap: u64,
     ) -> Result<Vec<u64>, KernelError> {
-        exec::try_par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
+        match self.matcher {
+            MatcherKind::Vf2 => {
+                exec::try_par_map(self.threads, targets, |t| count_embeddings(pattern, t, cap))
+            }
+            MatcherKind::Plan => {
+                let plan = self.prepare(pattern).plan();
+                exec::try_par_map(self.threads, targets, |t| {
+                    plan.count_embeddings(&Csr::from_graph(t), cap)
+                })
+            }
+        }
     }
 }
 

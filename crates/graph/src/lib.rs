@@ -26,6 +26,13 @@
 //!   building block of cluster summary graphs.
 //! * [`canonical`] — canonical codes for small graphs, used to
 //!   de-duplicate candidate patterns.
+//! * [`csr`] — per-graph compressed-sparse-row views with per-label
+//!   adjacency slices, built by [`GraphDb`] at insertion and consumed by
+//!   the plan-compiled matcher.
+//! * [`plan`] — patterns compiled once into static [`MatchPlan`]s
+//!   (vertex order + per-level candidate filters) and interpreted over
+//!   CSR label slices; the default matcher (`MIDAS_MATCHER=plan|vf2`),
+//!   with VF2 kept as the reference twin.
 //! * [`exec`] — scoped-thread `par_map`/`par_chunks` helpers shared by
 //!   every parallel `(graph × pattern)` scan in the workspace.
 //! * [`cache`] — a sharded [`EmbeddingCache`] memoizing capped embedding
@@ -41,9 +48,11 @@
 pub mod cache;
 pub mod canonical;
 pub mod closure;
+pub mod csr;
 pub mod db;
 pub mod dot;
 pub mod exec;
+pub mod fasthash;
 pub mod ged;
 pub mod graph;
 pub mod graphlets;
@@ -52,13 +61,16 @@ pub mod isomorphism;
 pub mod kernel;
 pub mod labels;
 pub mod mccs;
+pub mod plan;
 
 pub use cache::{CacheStats, CachedPattern, EmbeddingCache};
 pub use canonical::CanonicalCode;
 pub use closure::ClosureGraph;
+pub use csr::Csr;
 pub use db::{BatchUpdate, GraphDb, GraphId};
 pub use exec::KernelError;
 pub use graph::{EdgeLabel, GraphBuilder, LabeledGraph, VertexId};
 pub use graphlets::{GraphletCounts, GraphletDistribution, GraphletKind};
 pub use kernel::MatchKernel;
 pub use labels::{Interner, LabelId};
+pub use plan::{MatchPlan, MatcherKind};

@@ -58,6 +58,13 @@ impl FctIndex {
     /// run through `kernel` (data-graph columns cached by
     /// `(pattern key, GraphId)`; canned-pattern columns parallel only).
     /// Produces a matrix identical to the serial build.
+    ///
+    /// All features are registered first and the whole TG-matrix is filled
+    /// by a single [`MatchKernel::count_grid`] pass — one memo round-trip
+    /// per *graph* for every feature at once, instead of one per
+    /// `(feature, graph)` pair. With the plan-compiled matcher this is the
+    /// difference between rebuilding a graph's CSR view once versus once
+    /// per feature.
     pub fn build_with(
         kernel: &MatchKernel,
         features: impl IntoIterator<Item = (TreeKey, LabeledGraph)>,
@@ -65,9 +72,47 @@ impl FctIndex {
         patterns: &[(PatternId, &LabeledGraph)],
     ) -> Self {
         let mut index = Self::new();
+        // Register rows first (deduplicating by key, like the serial build).
+        let mut rows: Vec<(FeatureId, LabeledGraph)> = Vec::new();
         for (key, tree) in features {
-            index.add_feature_kernel(kernel, key, &tree, graphs, patterns);
+            if index.trie.lookup(key.tokens()).is_some() {
+                continue;
+            }
+            let id = FeatureId(index.next_feature);
+            index.next_feature += 1;
+            index.trie.insert(key.tokens(), id);
+            index.features.insert(
+                id,
+                Feature {
+                    key,
+                    tree: tree.clone(),
+                },
+            );
+            rows.push((id, tree));
         }
+        // One grid pass fills every TG column; the matrix itself is bulk
+        // built from the nonzero triples instead of nnz interior inserts.
+        if !rows.is_empty() && !graphs.is_empty() {
+            let cached: Vec<midas_graph::CachedPattern> =
+                rows.iter().map(|(_, t)| kernel.prepare(t)).collect();
+            let grid = kernel.count_grid(&cached, graphs, EMBED_CAP);
+            index.tg =
+                SparseMatrix::from_triples(graphs.iter().zip(grid).flat_map(|(&(gid, _), row)| {
+                    rows.iter()
+                        .zip(row)
+                        .map(move |(&(fid, _), count)| (fid, gid, count as u32))
+                }));
+        }
+        // TP rows per feature (pattern sets are tiny; no memo benefit).
+        let pattern_targets: Vec<&LabeledGraph> = patterns.iter().map(|&(_, p)| p).collect();
+        let mut tp_triples: Vec<(FeatureId, PatternId, u32)> = Vec::new();
+        for (fid, tree) in &rows {
+            let counts = kernel.count_plain_many(tree, &pattern_targets, EMBED_CAP);
+            for (&(pid, _), count) in patterns.iter().zip(counts) {
+                tp_triples.push((*fid, pid, count as u32));
+            }
+        }
+        index.tp = SparseMatrix::from_triples(tp_triples);
         index
     }
 

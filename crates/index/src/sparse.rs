@@ -46,6 +46,31 @@ impl<R: Ord + Copy + Default, C: Ord + Copy + Default> SparseMatrix<R, C> {
         self.by_row.is_empty()
     }
 
+    /// Builds a matrix from `(row, col, value)` triples in one shot.
+    /// Zero values are skipped (they would not be stored anyway) and the
+    /// last write wins for duplicate coordinates. Bulk construction sorts
+    /// each ordering once and feeds the maps a sorted stream — much
+    /// cheaper than `nnz` interior `set` calls when filling a whole
+    /// matrix, which is exactly the bootstrap build's shape.
+    pub fn from_triples(triples: impl IntoIterator<Item = (R, C, u32)>) -> Self {
+        let mut rows: Vec<((R, C), u32)> = triples
+            .into_iter()
+            .filter(|&(_, _, v)| v != 0)
+            .map(|(r, c, v)| ((r, c), v))
+            .collect();
+        rows.sort_by_key(|&(k, _)| k);
+        // Stable sort + last-wins dedup keeps `set` overwrite semantics.
+        rows.reverse();
+        rows.dedup_by_key(|&mut (k, _)| k);
+        rows.reverse();
+        let mut cols: Vec<((C, R), u32)> = rows.iter().map(|&((r, c), v)| ((c, r), v)).collect();
+        cols.sort_unstable_by_key(|&(k, _)| k);
+        SparseMatrix {
+            by_row: rows.into_iter().collect(),
+            by_col: cols.into_iter().collect(),
+        }
+    }
+
     /// Sets `(row, col)` to `value`; zero removes the entry.
     pub fn set(&mut self, row: R, col: C, value: u32) {
         if value == 0 {
@@ -161,6 +186,26 @@ mod tests {
         assert_eq!(m.get(5, 7), 9);
         assert_eq!(m.col(7).next(), Some((5, 9)));
         assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn from_triples_matches_incremental_set() {
+        let triples = [(2u32, 1u32, 5), (0, 3, 7), (2, 0, 1), (1, 1, 0), (0, 3, 9)];
+        let bulk: SparseMatrix<u32, u32> = SparseMatrix::from_triples(triples);
+        let mut slow: SparseMatrix<u32, u32> = SparseMatrix::new();
+        for (r, c, v) in triples {
+            slow.set(r, c, v);
+        }
+        assert_eq!(bulk.nnz(), slow.nnz());
+        assert_eq!(bulk.get(0, 3), 9, "last write wins");
+        assert_eq!(bulk.get(1, 1), 0, "zeros are skipped");
+        for (r, c, v) in slow.iter() {
+            assert_eq!(bulk.get(r, c), v);
+            assert_eq!(
+                bulk.col(c).find(|&(rr, _)| rr == r).map(|(_, v)| v),
+                Some(v)
+            );
+        }
     }
 
     #[test]

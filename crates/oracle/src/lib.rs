@@ -4,7 +4,7 @@
 //! in the workspace is cross-checked against its slow reference twin on a
 //! seeded, fully reproducible world from `midas-datagen`.
 //!
-//! The five checks ([`Oracle::run_all`]):
+//! The six checks ([`Oracle::run_all`]):
 //!
 //! 1. **`kernel_vs_serial`** — [`MatchKernel`] / `EmbeddingCache` counts
 //!    and containment vs the serial VF2 walkers
@@ -22,6 +22,10 @@
 //!    must agree exactly; set measures guarded by sw3–sw5 must not
 //!    degrade; a single accepted swap must replay sw1 against
 //!    brute-force coverage.
+//! 6. **`plan_vs_vf2`** — the plan-compiled CSR matcher
+//!    ([`midas_graph::plan`]) vs the VF2 reference on random pairs:
+//!    capped counts at several caps, coverage booleans, and the full
+//!    embedding *sets* (as sorted mappings) must agree exactly.
 //!
 //! Divergences are reported as structured JSON (reusing `midas_obs::json`)
 //! with the offending graph pair **minimized** by greedy vertex removal
@@ -47,7 +51,8 @@ use midas_datagen::{deletion_batch, growth_batch, query_set, DatasetKind, Datase
 use midas_graph::exec::set_fault_for_tests;
 use midas_graph::ged::{ged_exact, ged_label_lower_bound, ged_tight_lower_bound};
 use midas_graph::graphlets::{count_graphlets, GraphletCounts};
-use midas_graph::isomorphism::{count_embeddings, is_subgraph_of};
+use midas_graph::isomorphism::{count_embeddings, find_embeddings, is_subgraph_of};
+use midas_graph::plan::{count_embeddings_plan, find_embeddings_plan, is_subgraph_plan};
 use midas_graph::{GraphBuilder, GraphDb, GraphId, LabeledGraph, MatchKernel};
 use midas_index::{FctIndex, IfeIndex, PatternId};
 use midas_mining::incremental::FctState;
@@ -218,7 +223,7 @@ where
     }
 }
 
-/// The differential oracle: a seeded world plus the five checks.
+/// The differential oracle: a seeded world plus the six checks.
 pub struct Oracle {
     seed: u64,
 }
@@ -239,12 +244,13 @@ impl Oracle {
             checks: Vec::new(),
             divergences: Vec::new(),
         };
-        let checks: [(&'static str, CheckFn); 5] = [
+        let checks: [(&'static str, CheckFn); 6] = [
             ("kernel_vs_serial", Oracle::check_kernel_vs_serial),
             ("incremental_mining", Oracle::check_incremental_mining),
             ("graphlet_monitor", Oracle::check_monitor),
             ("ged_bounds", Oracle::check_ged_bounds),
             ("multi_scan_swap", Oracle::check_swap),
+            ("plan_vs_vf2", Oracle::check_plan_vs_vf2),
         ];
         for (name, check) in checks {
             let cases = check(self, &mut report.divergences);
@@ -696,6 +702,70 @@ impl Oracle {
         }
         cases
     }
+
+    /// Check 6: the plan-compiled CSR matcher against the VF2 reference.
+    ///
+    /// Random (pattern, target) pairs — small enough that full embedding
+    /// enumeration is cheap — compared on three axes: capped counts at a
+    /// spread of caps (including cap 1 and an effectively-unbounded cap),
+    /// the coverage boolean, and the complete embedding sets as sorted
+    /// collections of mappings. Any disagreement minimizes to the
+    /// smallest violating pair.
+    fn check_plan_vs_vf2(&self, out: &mut Vec<Divergence>) -> usize {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x60);
+        let mut cases = 0;
+        const CAPS: [u64; 3] = [1, COUNT_CAP, u64::MAX];
+        const EMBED_LIMIT: usize = 4096;
+        for round in 0..120 {
+            let pattern = random_labeled_graph(&mut rng, 4, 3, 0.5);
+            let target = random_labeled_graph(&mut rng, 7, 3, 0.35);
+            for cap in CAPS {
+                cases += 1;
+                let want = count_embeddings(&pattern, &target, cap);
+                let got = count_embeddings_plan(&pattern, &target, cap);
+                if got != want {
+                    out.push(plan_divergence(
+                        format!("round {round}: count at cap {cap}"),
+                        want.to_string(),
+                        got.to_string(),
+                        &pattern,
+                        &target,
+                    ));
+                }
+            }
+            cases += 1;
+            let want_cov = is_subgraph_of(&pattern, &target);
+            let got_cov = is_subgraph_plan(&pattern, &target);
+            if got_cov != want_cov {
+                out.push(plan_divergence(
+                    format!("round {round}: coverage boolean"),
+                    want_cov.to_string(),
+                    got_cov.to_string(),
+                    &pattern,
+                    &target,
+                ));
+            }
+            // Full embedding sets: both enumerate in pattern-vertex
+            // numbering, so the sets (order-free) must be identical.
+            cases += 1;
+            let want_set: BTreeSet<Vec<u32>> = find_embeddings(&pattern, &target, EMBED_LIMIT)
+                .into_iter()
+                .collect();
+            let got_set: BTreeSet<Vec<u32>> = find_embeddings_plan(&pattern, &target, EMBED_LIMIT)
+                .into_iter()
+                .collect();
+            if got_set != want_set {
+                out.push(plan_divergence(
+                    format!("round {round}: embedding sets"),
+                    format!("{} embeddings", want_set.len()),
+                    format!("{} embeddings", got_set.len()),
+                    &pattern,
+                    &target,
+                ));
+            }
+        }
+        cases
+    }
 }
 
 /// One differential check: collects divergences, returns its case count.
@@ -758,6 +828,36 @@ fn count_divergence(
         case,
         expected: want.to_string(),
         actual: got.to_string(),
+        witness: Some(witness),
+    }
+}
+
+/// A `plan_vs_vf2` divergence, with the pair minimized against the axis
+/// that actually disagreed (re-checking all three axes keeps the shrinker
+/// honest when a smaller pair diverges differently).
+fn plan_divergence(
+    case: String,
+    expected: String,
+    actual: String,
+    pattern: &LabeledGraph,
+    graph: &LabeledGraph,
+) -> Divergence {
+    let violates = |p: &LabeledGraph, g: &LabeledGraph| {
+        count_embeddings_plan(p, g, COUNT_CAP) != count_embeddings(p, g, COUNT_CAP)
+            || is_subgraph_plan(p, g) != is_subgraph_of(p, g)
+            || find_embeddings_plan(p, g, 4096)
+                .into_iter()
+                .collect::<BTreeSet<_>>()
+                != find_embeddings(p, g, 4096)
+                    .into_iter()
+                    .collect::<BTreeSet<_>>()
+    };
+    let witness = minimize_pair(pattern, graph, violates);
+    Divergence {
+        check: "plan_vs_vf2",
+        case,
+        expected,
+        actual,
         witness: Some(witness),
     }
 }

@@ -41,6 +41,7 @@ import tempfile
 TRACKED = {
     "matrix_build/parallel_cached": 2.0,
     "apply_batch/parallel_cached_repeat": 2.0,
+    "matrix_build/plan_serial": 2.0,
 }
 
 # Untracked metrics warn (never fail) beyond this multiple.
@@ -162,6 +163,26 @@ def self_test():
     ok, lines = gate(baseline + [noisy])
     assert ok, f"soft regression must not gate: {lines}"
     assert any(l.startswith("WARN matrix_build/serial") for l in lines), lines
+
+    # A newly tracked metric absent from older records skips (no baseline)
+    # instead of failing, so extending TRACKED never breaks existing
+    # histories.
+    fresh = rec(100_000, 50_000)
+    fresh["median_ns"]["matrix_build/plan_serial"] = 12_000_000
+    ok, lines = gate(baseline + [fresh])
+    assert ok, f"metric without baseline must skip, not fail: {lines}"
+    assert any(l.startswith("SKIP matrix_build/plan_serial") for l in lines), lines
+
+    # Once the plan metric has history, a regression gates like the rest.
+    def rec_plan(plan):
+        r = rec(100_000, 50_000)
+        r["median_ns"]["matrix_build/plan_serial"] = plan
+        return r
+
+    plan_base = [rec_plan(10_000_000) for _ in range(3)]
+    ok, lines = gate(plan_base + [rec_plan(25_000_000)])
+    assert not ok, f"plan_serial 2.5x regression must fail: {lines}"
+    assert any(l.startswith("FAIL matrix_build/plan_serial") for l in lines), lines
 
     # Probe budget is absolute.
     ok, lines = gate(baseline + [rec(100_000, 50_000, probe=80.0)])

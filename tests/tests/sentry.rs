@@ -215,12 +215,14 @@ fn injected_slowdown_flips_alerts_and_healthz_to_firing() {
     assert!(body.contains("\"status\": \"alerting\""), "{body}");
     assert!(body.contains("\"batch.index\""), "{body}");
 
-    // /slow attributes the slowest VF2 searches to concrete ids.
+    // /slow attributes the slowest searches to concrete ids. The kernel
+    // defaults to the plan-compiled matcher, so attribution lands on its
+    // series.
     let (status, body) = http_get(addr, "/slow");
     assert_eq!(status, 200);
     json::validate(&body).expect("slow JSON validates");
-    assert!(body.contains("\"vf2.search_ns\""), "{body}");
-    let attributed = exemplar::series("vf2.search_ns", "ns")
+    assert!(body.contains("\"plan.search_ns\""), "{body}");
+    let attributed = exemplar::series("plan.search_ns", "ns")
         .top()
         .iter()
         .any(|e| e.pattern().is_some() && e.graph().is_some());
