@@ -28,6 +28,7 @@ use crate::config::MidasConfig;
 use crate::metrics::ScovContext;
 use crate::monitor::{classify, GraphletMonitor, Modification};
 use crate::patterns::PatternStore;
+use crate::published::{PatternSnapshot, Published};
 use crate::sampling::sample_database;
 use crate::swap::{multi_scan_swap, SwapParams};
 use midas_catapult::score::SetQuality;
@@ -108,6 +109,10 @@ pub struct Midas {
     kernel: MatchKernel,
     batch_counter: u64,
     obs_server: Option<midas_obs::ObsServer>,
+    /// The serving-side pattern snapshot: republished after bootstrap and
+    /// at the end of every batch, read lock-free (never blocked by a
+    /// batch) by any thread holding [`Midas::snapshot_handle`].
+    published: Published<PatternSnapshot>,
 }
 
 impl Midas {
@@ -177,7 +182,9 @@ impl Midas {
             kernel,
             batch_counter: 0,
             obs_server,
+            published: Published::default(),
         };
+        midas.publish_snapshot();
         midas.clusters.take_dirty(); // fresh clusters are not "modified"
 
         // Bootstrap mining floods the VF2 tail-latency reservoir with
@@ -205,8 +212,42 @@ impl Midas {
     }
 
     /// The current canned pattern set.
+    ///
+    /// Routed through the published [`PatternSnapshot`] (not the mutable
+    /// [`PatternStore`]), so every read path observes only complete,
+    /// end-of-batch pattern sets.
     pub fn patterns(&self) -> Vec<LabeledGraph> {
-        self.patterns.graphs()
+        self.published.read().patterns.clone()
+    }
+
+    /// The latest published [`PatternSnapshot`]: the pattern set plus its
+    /// epoch and the graphlet distribution at publish time. Cheap (`Arc`
+    /// clone) and always a complete, immutable set.
+    pub fn pattern_snapshot(&self) -> Arc<PatternSnapshot> {
+        self.published.read()
+    }
+
+    /// A cloneable handle onto the published pattern snapshot, for reader
+    /// threads that outlive any `&Midas` borrow (the closed-loop load
+    /// harness's simulated users). Reads through the handle are never
+    /// blocked by [`Midas::apply_batch`]: a batch assembles its new
+    /// snapshot off to the side and swaps one `Arc` at the very end.
+    pub fn snapshot_handle(&self) -> Published<PatternSnapshot> {
+        self.published.clone()
+    }
+
+    /// Builds and publishes a fresh [`PatternSnapshot`] from the current
+    /// store, monitor and batch counter.
+    fn publish_snapshot(&self) {
+        self.published.publish(PatternSnapshot {
+            epoch: self.batch_counter,
+            patterns: self.patterns.graphs(),
+            graphlets: self.monitor.distribution(),
+            db_len: self.db.len(),
+            published_unix_ms: midas_obs::flight::unix_ms(),
+        });
+        midas_obs::counter_add!("patterns.published", 1);
+        midas_obs::gauge_set!("patterns.snapshot_epoch", self.batch_counter as f64);
     }
 
     /// The maintained small-pattern strip (single frequent edges), empty
@@ -481,6 +522,12 @@ impl Midas {
         // clusters stay marked as modified until the next major round
         // consumes them, so candidate generation sees every cluster that
         // changed since patterns were last maintained (§4.3, §5).
+
+        // Publish the post-batch pattern snapshot before reporting: even a
+        // contained phase failure publishes (the store holds whatever state
+        // the batch reached — always a complete set, swaps are per-pattern
+        // atomic), so concurrent readers converge on the current epoch.
+        self.publish_snapshot();
 
         let pattern_maintenance_time = total_start.elapsed();
         midas_obs::counter_add!("pmt_us", pattern_maintenance_time.as_micros() as u64);
@@ -888,6 +935,24 @@ mod tests {
         // Disabled by default.
         let plain = Midas::bootstrap(seed_db(), config()).unwrap();
         assert!(plain.small_patterns().is_empty());
+    }
+
+    #[test]
+    fn published_snapshot_tracks_batches() {
+        let mut midas = Midas::bootstrap(seed_db(), config()).unwrap();
+        let s0 = midas.pattern_snapshot();
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.patterns, midas.patterns());
+        assert_eq!(s0.db_len, 10);
+        let handle = midas.snapshot_handle();
+        midas.apply_batch(BatchUpdate::insert_only(vec![path(&[0, 1, 2])]));
+        let s1 = handle.read();
+        assert_eq!(s1.epoch, 1);
+        assert_eq!(s1.patterns, midas.patterns());
+        assert_eq!(s1.db_len, 11);
+        // The held pre-batch snapshot is immutable.
+        assert_eq!(s0.epoch, 0);
+        assert_eq!(s0.batches_behind(&s1), 1);
     }
 
     // Enabled-telemetry behavior (phase spans, pmt_us, snapshot deltas) is

@@ -58,6 +58,7 @@ pub mod ks;
 pub mod metrics;
 pub mod monitor;
 pub mod patterns;
+pub mod published;
 pub mod query_log;
 pub mod sampling;
 pub mod small_patterns;
@@ -67,3 +68,4 @@ pub use config::MidasConfig;
 pub use framework::{MaintenanceReport, Midas, ModificationKind};
 pub use metrics::quality_of;
 pub use patterns::PatternStore;
+pub use published::{PatternSnapshot, Published};

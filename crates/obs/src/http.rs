@@ -16,6 +16,7 @@
 //! | `/profile`  | Folded profiler stacks ([`crate::profile::folded`])      |
 //! | `/slow`     | Tail-latency exemplars ([`crate::exemplar::render_json`])|
 //! | `/alerts`   | Burn-rate alert states ([`crate::alerts::render_json`])  |
+//! | `/sli`      | User-facing SLIs ([`crate::sli::render_json`])           |
 //!
 //! Architecture: one accept-loop thread pushes connections into a bounded
 //! channel drained by a small worker pool ([`WORKERS`] threads). Requests
@@ -186,7 +187,7 @@ fn handle_connection(stream: TcpStream, started: Instant) {
 }
 
 /// Every resource the server exposes (canonical, slash-free form).
-const KNOWN_PATHS: [&str; 7] = [
+const KNOWN_PATHS: [&str; 8] = [
     "/metrics",
     "/snapshot",
     "/healthz",
@@ -194,6 +195,7 @@ const KNOWN_PATHS: [&str; 7] = [
     "/profile",
     "/slow",
     "/alerts",
+    "/sli",
 ];
 
 /// Canonicalizes a request target for routing: the query string (and any
@@ -234,6 +236,11 @@ fn route(path: &str, started: Instant) -> String {
             200,
             "application/json; charset=utf-8",
             &crate::alerts::render_json(),
+        ),
+        "/sli" => respond(
+            200,
+            "application/json; charset=utf-8",
+            &crate::sli::render_json(),
         ),
         _ => respond(404, "text/plain; charset=utf-8", "not found\n"),
     }
@@ -374,6 +381,12 @@ mod tests {
         assert!(status.contains("200"));
         json::validate(&body).expect("alerts JSON");
         assert!(body.contains("\"alerts\""));
+
+        let (status, body) = get(addr, "/sli");
+        assert!(status.contains("200"));
+        json::validate(&body).expect("sli JSON");
+        assert!(body.contains("\"reduction\""), "{body}");
+        assert!(body.contains("\"latency_ns\""), "{body}");
 
         // /profile is plain text (possibly empty when nothing was sampled).
         let (status, _) = get(addr, "/profile");

@@ -62,6 +62,7 @@ pub mod log;
 pub mod profile;
 pub mod prom;
 pub mod registry;
+pub mod sli;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
@@ -72,6 +73,7 @@ pub use flight::{BatchSummary, FlightEvent};
 pub use http::ObsServer;
 pub use log::LogLevel;
 pub use registry::{Counter, Gauge, Histogram};
+pub use sli::{QuerySample, TickSummary};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SpanStatSnapshot};
 pub use span::Span;
 

@@ -603,6 +603,56 @@ mod tests {
     }
 
     #[test]
+    fn window_rotation_survives_concurrent_recording() {
+        // 8 threads sweep ticks far past the ring size, so every slot is
+        // reused (CAS-rotated) many times while other threads are still
+        // recording into it. The documented contract: races at slot
+        // boundaries may drop or double-count *window* samples, but never
+        // corrupt a slot (the aggregate stays internally consistent) and
+        // never touch lifetime totals.
+        let h = registry().histogram("test.registry.window_race");
+        h.reset();
+        let (life_before, _, _) = h.totals();
+        assert_eq!(life_before, 0);
+        const THREADS: u64 = 8;
+        const TICKS: u64 = 4 * WINDOW_SLOTS as u64; // 4 full ring laps
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                scope.spawn(move || {
+                    for tick in 0..TICKS {
+                        h.record_windowed_at(t + 1, tick);
+                    }
+                });
+            }
+        });
+        // Lifetime totals are untouched: record_windowed_at feeds only the
+        // ring.
+        assert_eq!(h.totals(), (0, 0, 0));
+        // The final lap's slots survive; earlier laps were rotated away.
+        // Window counts are approximate under racing rotation, but bounded:
+        // never more than everything recorded, and the last tick of the
+        // sweep (rotated last) retains at least one sample.
+        let w = h.windowed_at(TICKS - 1);
+        assert!(w.count >= 1, "final lap left samples behind");
+        assert!(
+            w.count <= THREADS * TICKS,
+            "count bounded by total recorded"
+        );
+        assert!(w.max <= THREADS, "only recorded values appear");
+        // count vs Σbuckets may diverge by the records that raced a slot
+        // reset (each race skews one slot by at most one sample per racing
+        // thread) — bounded, not exact.
+        let bucket_total: u64 = w.buckets.iter().map(|(_, n)| n).sum();
+        assert!(bucket_total <= THREADS * TICKS);
+        let skew = bucket_total.abs_diff(w.count);
+        assert!(
+            skew <= THREADS * WINDOW_SLOTS as u64,
+            "slot-boundary skew {skew} exceeds the per-race bound"
+        );
+        h.reset();
+    }
+
+    #[test]
     fn record_feeds_both_lifetime_and_window() {
         let h = registry().histogram("test.registry.window_live");
         h.reset();

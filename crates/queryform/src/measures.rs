@@ -94,6 +94,79 @@ mod tests {
         assert_eq!(reduction_ratio(&queries, &good, &good), 0.0);
     }
 
+    // --- Edge cases: the NaN/panic-prone shapes -------------------------
+    // Every division in this module has a guard (empty query list, empty
+    // pattern set, zero-step baselines); these tests pin each one to a
+    // finite value so a refactor cannot quietly reintroduce `0/0`.
+
+    #[test]
+    fn empty_query_list_yields_finite_zeroes_everywhere() {
+        let patterns = vec![path(&[0, 1])];
+        assert_eq!(missed_percentage(&[], &patterns), 0.0);
+        assert_eq!(reduction_ratio(&[], &patterns, &patterns), 0.0);
+        assert_eq!(mean_steps(&[], &patterns), 0.0);
+        // And with the pattern set empty too: still finite.
+        assert_eq!(reduction_ratio(&[], &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn empty_pattern_set_misses_everything_but_never_divides_by_zero() {
+        let queries = vec![path(&[0, 1, 2]), path(&[3, 3])];
+        assert_eq!(missed_percentage(&queries, &[]), 100.0);
+        // Baseline == reference == ∅: identical step counts, ratio 0.
+        let mu = reduction_ratio(&queries, &[], &[]);
+        assert!(mu.is_finite());
+        assert_eq!(mu, 0.0);
+        // Mean steps falls back to pure edge-at-a-time counts.
+        let ms = mean_steps(&queries, &[]);
+        assert!(ms.is_finite() && ms > 0.0);
+    }
+
+    #[test]
+    fn queries_smaller_than_every_pattern_fall_back_cleanly() {
+        // Each query has fewer edges than the smallest pattern, so no
+        // pattern is ever usable: MP is 100%, both formulations are pure
+        // edge-at-a-time, and μ is exactly 0 — no NaN, no panic.
+        let queries = vec![path(&[0, 1]), path(&[2, 2])];
+        let patterns = vec![path(&[0, 1, 2, 3]), path(&[1, 2, 3, 1, 0])];
+        assert_eq!(missed_percentage(&queries, &patterns), 100.0);
+        let mu = reduction_ratio(&queries, &patterns, &patterns);
+        assert!(mu.is_finite());
+        assert_eq!(mu, 0.0);
+        let ms = mean_steps(&queries, &patterns);
+        assert!((ms - 3.0).abs() < 1e-12, "2 vertices + 1 edge each");
+    }
+
+    #[test]
+    fn zero_step_queries_are_skipped_not_divided_by() {
+        // An empty query graph formulates in 0 steps for any pattern set;
+        // reduction_ratio must skip it (bx == 0) instead of computing 0/0,
+        // and a query set of only such graphs yields 0.0.
+        let empty = GraphBuilder::new().build();
+        assert_eq!(formulate(&empty, &[path(&[0, 1])]).steps, 0);
+        let queries = vec![empty.clone(), empty];
+        let mu = reduction_ratio(&queries, &[path(&[0, 1])], &[]);
+        assert!(mu.is_finite());
+        assert_eq!(mu, 0.0);
+        // Mixed with one real query, only the real one counts.
+        let queries = vec![GraphBuilder::new().build(), path(&[0, 1, 2])];
+        let mu = reduction_ratio(&queries, &[], &[path(&[0, 1, 2])]);
+        // Real query: baseline 5 steps, reference 1 step → (5−1)/5.
+        assert!((mu - 0.8).abs() < 1e-12, "mu = {mu}");
+    }
+
+    #[test]
+    fn single_vertex_queries_cost_one_step_and_stay_finite() {
+        let dot = GraphBuilder::new().vertices(&[0]).build();
+        let r = formulate(&dot, &[path(&[0, 1])]);
+        assert_eq!(r.steps, 1, "one vertex, no edges, no usable pattern");
+        let queries = vec![dot];
+        assert_eq!(missed_percentage(&queries, &[path(&[0, 1])]), 100.0);
+        let mu = reduction_ratio(&queries, &[path(&[0, 1])], &[]);
+        assert!(mu.is_finite());
+        assert_eq!(mu, 0.0, "identical 1-step formulations");
+    }
+
     #[test]
     fn mean_steps_averages() {
         let queries = vec![path(&[0, 1]), path(&[0, 1, 2])];

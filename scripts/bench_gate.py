@@ -42,6 +42,12 @@ TRACKED = {
     "matrix_build/parallel_cached": 2.0,
     "apply_batch/parallel_cached_repeat": 2.0,
     "matrix_build/plan_serial": 2.0,
+    # Snapshot-read latency from the closed-loop load scenario
+    # (crates/bench/benches/load.rs). The absolute numbers are tiny
+    # (an Arc clone) and scheduler-noisy, so the tolerance is generous;
+    # what it catches is the read path growing real work — e.g. a copy
+    # of the pattern set sneaking back into Published::read.
+    "load/read_ns_p50": 4.0,
 }
 
 # Untracked metrics warn (never fail) beyond this multiple.
@@ -183,6 +189,32 @@ def self_test():
     ok, lines = gate(plan_base + [rec_plan(25_000_000)])
     assert not ok, f"plan_serial 2.5x regression must fail: {lines}"
     assert any(l.startswith("FAIL matrix_build/plan_serial") for l in lines), lines
+
+    # Load records live in the same history: kernel records lack the load
+    # metrics (and vice versa), so each gates only against its own kind.
+    def rec_load(read_p50, quick=False):
+        return {
+            "unix_ms": 0,
+            "quick": quick,
+            "scenario": "pubchem_like_u8",
+            "median_ns": {
+                "load/read_ns_p50": read_p50,
+                "load/read_ns_p99": 10 * read_p50,
+                "load/formulate_ns_p50": 500_000,
+            },
+        }
+
+    load_base = [rec_load(200) for _ in range(3)]
+    mixed = baseline + load_base
+    ok, lines = gate(mixed + [rec_load(210)])
+    assert ok, f"flat load run must pass: {lines}"
+    ok, lines = gate(mixed + [rec_load(1_000)])
+    assert not ok, f"5x read-latency regression must fail: {lines}"
+    assert any(l.startswith("FAIL load/read_ns_p50") for l in lines), lines
+    # A kernel record after load records still gates cleanly (the load
+    # metrics just have no entry in it).
+    ok, lines = gate(load_base + baseline + [rec(101_000, 51_000)])
+    assert ok, f"kernel record after load records must pass: {lines}"
 
     # Probe budget is absolute.
     ok, lines = gate(baseline + [rec(100_000, 50_000, probe=80.0)])

@@ -16,6 +16,13 @@ Two modes:
       check_telemetry.py --prom <metrics.txt> [--healthz <healthz.json>] [--flight <flight.json>] \
                          [--profile <profile.folded>] [--slow <slow.json>] [--alerts <alerts.json>]
 
+* SLI gate — runs after the load-harness smoke step; validates the saved
+  `GET /sli` response (user-facing SLIs: formulation-cost reduction,
+  staleness, read/formulation latency), optionally cross-checking that a
+  saved `GET /snapshot` carries the `sli.*` histograms.
+
+      check_telemetry.py --sli <sli.json> [--snapshot <snapshot.json>]
+
 Fails loudly on drift so exporter changes are deliberate.
 """
 
@@ -309,8 +316,103 @@ def check_alerts(path, expect_firing=None):
           f"{sum(1 for s in states.values() if s == 'firing')} firing)")
 
 
+QUANTILE_FIELDS = ["count", "p50", "p99", "max"]
+
+SLI_TICK_FIELDS = [
+    "tick", "epoch", "queries", "steps_live", "steps_baseline",
+    "reduction", "staleness_batches_max", "staleness_drift_max", "unix_ms",
+]
+
+
+def check_sli(path):
+    """Validates a saved `GET /sli` body after a load-harness run."""
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ["ticks", "queries", "steps_live", "steps_baseline"]:
+        if not isinstance(doc.get(field), int):
+            fail(f"{path}: field {field!r} missing or non-integer")
+    if doc["ticks"] < 1:
+        fail(f"{path}: no ticks recorded; the load driver never ran")
+    if doc["queries"] < 1:
+        fail(f"{path}: no queries recorded; the simulated users never ran")
+    reduction = doc.get("reduction")
+    if not isinstance(reduction, dict):
+        fail(f"{path}: reduction section missing")
+    for field in ["cumulative", "last_tick"]:
+        v = reduction.get(field)
+        if not isinstance(v, (int, float)) or not -10.0 <= v <= 1.0:
+            fail(f"{path}: reduction.{field} missing or implausible ({v!r})")
+    staleness = doc.get("staleness")
+    if not isinstance(staleness, dict):
+        fail(f"{path}: staleness section missing")
+    for name in ["batches", "drift_micro"]:
+        q = staleness.get(name)
+        if not isinstance(q, dict):
+            fail(f"{path}: staleness.{name} missing")
+        for field in QUANTILE_FIELDS:
+            if not isinstance(q.get(field), (int, float)):
+                fail(f"{path}: staleness.{name}.{field} missing")
+    latency = doc.get("latency_ns")
+    if not isinstance(latency, dict):
+        fail(f"{path}: latency_ns section missing")
+    for name in ["read", "formulate"]:
+        q = latency.get(name)
+        if not isinstance(q, dict):
+            fail(f"{path}: latency_ns.{name} missing")
+        for field in QUANTILE_FIELDS:
+            if not isinstance(q.get(field), (int, float)):
+                fail(f"{path}: latency_ns.{name}.{field} missing")
+        if q["count"] < 1:
+            fail(f"{path}: latency_ns.{name} recorded no samples")
+        if not q["p50"] <= q["p99"] <= q["max"]:
+            fail(f"{path}: latency_ns.{name} quantiles not monotone: {q}")
+    ticks = doc.get("recent_ticks")
+    if not isinstance(ticks, list) or not ticks:
+        fail(f"{path}: recent_ticks missing or empty")
+    for t in ticks:
+        for field in SLI_TICK_FIELDS:
+            if field not in t:
+                fail(f"{path}: tick summary missing field {field!r}: {t}")
+    seq = [t["tick"] for t in ticks]
+    if seq != sorted(seq):
+        fail(f"{path}: tick summaries out of order: {seq}")
+    print(f"{path}: ok ({doc['queries']} queries over {doc['ticks']} ticks, "
+          f"reduction {reduction['cumulative']}, "
+          f"read p99 {latency['read']['p99']} ns)")
+
+
+def check_sli_snapshot(path):
+    """Cross-check: the full `/snapshot` carries the `sli.*` histograms the
+    `/sli` digest is derived from."""
+    with open(path) as f:
+        doc = json.load(f)
+    hists = doc.get("histograms")
+    if not isinstance(hists, dict):
+        fail(f"{path}: histograms section missing")
+    for name in ["sli.read_ns", "sli.formulate_ns", "sli.staleness_batches"]:
+        h = hists.get(name)
+        if not isinstance(h, dict):
+            fail(f"{path}: histogram {name!r} missing from snapshot")
+        if not isinstance(h.get("count"), int) or h["count"] < 1:
+            fail(f"{path}: histogram {name!r} recorded no samples")
+    counters = doc.get("counters", {})
+    if not isinstance(counters.get("sli.queries"), int) or counters["sli.queries"] < 1:
+        fail(f"{path}: counter 'sli.queries' missing or zero")
+    print(f"{path}: ok (sli.* histograms present, "
+          f"{counters['sli.queries']} queries)")
+
+
 def main():
     args = sys.argv[1:]
+    if "--sli" in args:
+        opts = dict(zip(args[::2], args[1::2]))
+        if "--sli" not in opts:
+            fail("--sli requires a file argument")
+        check_sli(opts["--sli"])
+        if "--snapshot" in opts:
+            check_sli_snapshot(opts["--snapshot"])
+        print("sli endpoint check passed")
+        return
     if "--prom" in args:
         opts = dict(zip(args[::2], args[1::2]))
         if "--prom" not in opts:
@@ -334,7 +436,9 @@ def main():
             "   or: check_telemetry.py --prom <metrics.txt> "
             "[--healthz <healthz.json>] [--flight <flight.json>] "
             "[--profile <profile.folded>] [--slow <slow.json>] "
-            "[--alerts <alerts.json>] [--expect-firing <name>]"
+            "[--alerts <alerts.json>] [--expect-firing <name>]\n"
+            "   or: check_telemetry.py --sli <sli.json> "
+            "[--snapshot <snapshot.json>]"
         )
     check_metrics(args[0])
     check_trace(args[1])
