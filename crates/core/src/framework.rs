@@ -122,13 +122,37 @@ impl Midas {
     ///
     /// Returns `Err` only if the database is empty.
     pub fn bootstrap(db: GraphDb, mut config: MidasConfig) -> Result<Self, String> {
-        if db.is_empty() {
-            return Err("cannot bootstrap MIDAS on an empty database".into());
-        }
         config.telemetry = config.telemetry.from_env();
-        config.telemetry.activate();
         if let Some(matcher) = midas_graph::MatcherKind::from_env() {
             config.matcher = matcher;
+        }
+        config.telemetry.activate();
+        Midas::bootstrap_inner(db, config)
+    }
+
+    /// [`Midas::bootstrap`] for instances *embedded in a host daemon*
+    /// (one per tenant in `midas-serve`): the configuration is taken
+    /// exactly as given — no `MIDAS_*` environment overrides, and no
+    /// per-instance observability server (the host process owns the
+    /// single [`midas_obs::ObsServer`]; a second tenant would otherwise
+    /// fight it for the `MIDAS_SERVE` port). Everything else — mining,
+    /// clustering, selection, index builds, snapshot publication — is
+    /// identical, so an embedded instance fed the same batches is
+    /// bit-identical to a standalone one (the oracle's serve-vs-library
+    /// parity check pins this).
+    ///
+    /// Unlike [`Midas::bootstrap`], this never calls
+    /// [`TelemetryConfig::activate`]: global telemetry switches belong to
+    /// the host process, and a tenant bootstrapping mid-flight must not
+    /// flip them out from under the other tenants.
+    pub fn bootstrap_embedded(db: GraphDb, mut config: MidasConfig) -> Result<Self, String> {
+        config.telemetry.serve = false;
+        Midas::bootstrap_inner(db, config)
+    }
+
+    fn bootstrap_inner(db: GraphDb, config: MidasConfig) -> Result<Self, String> {
+        if db.is_empty() {
+            return Err("cannot bootstrap MIDAS on an empty database".into());
         }
         // Live observability: bind the HTTP endpoints and arm the flight
         // recorder before any batch runs, so the very first crash or scrape

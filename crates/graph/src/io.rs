@@ -13,7 +13,7 @@
 //! {"graphs": [[0, {"labels": [0, 1], "edges": [[0, 1]]}], ...]}
 //! ```
 
-use crate::db::{GraphDb, GraphId};
+use crate::db::{BatchUpdate, GraphDb, GraphId};
 use crate::graph::LabeledGraph;
 
 /// Serialization/deserialization errors.
@@ -156,6 +156,65 @@ pub fn patterns_from_json(json: &str) -> Result<Vec<LabeledGraph>> {
     p.expect(']')?;
     p.expect_end()?;
     Ok(patterns)
+}
+
+/// Serializes a batch update to JSON:
+/// `{"insert": [graph, ...], "delete": [id, ...]}` — the wire format of
+/// the serving daemon's `POST /v1/{tenant}/updates` endpoint.
+pub fn batch_to_json(batch: &BatchUpdate) -> Result<String> {
+    let mut out = String::new();
+    out.push_str("{\"insert\":[");
+    for (i, g) in batch.insert.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_graph(&mut out, g);
+    }
+    out.push_str("],\"delete\":[");
+    for (i, id) in batch.delete.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&id.0.to_string());
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// Deserializes a batch update from JSON (graphs validated exactly like
+/// [`patterns_from_json`]: edge endpoints in range, no self-loops, no
+/// duplicate edges).
+pub fn batch_from_json(json: &str) -> Result<BatchUpdate> {
+    let mut p = Parser::new(json);
+    p.expect('{')?;
+    p.expect_key("insert")?;
+    let mut insert = Vec::new();
+    p.expect('[')?;
+    if !p.peek_is(']') {
+        loop {
+            insert.push(p.parse_graph()?);
+            if !p.eat(',') {
+                break;
+            }
+        }
+    }
+    p.expect(']')?;
+    p.expect(',')?;
+    p.expect_key("delete")?;
+    let mut delete = Vec::new();
+    p.expect('[')?;
+    if !p.peek_is(']') {
+        loop {
+            delete.push(GraphId(p.parse_u64()?));
+            if !p.eat(',') {
+                break;
+            }
+        }
+    }
+    p.expect(']')?;
+    p.expect('}')?;
+    p.expect_end()?;
+    Ok(BatchUpdate { insert, delete })
 }
 
 fn write_graph(out: &mut String, g: &LabeledGraph) {
@@ -365,6 +424,32 @@ mod tests {
         let json = patterns_to_json(&patterns).expect("serialize");
         let back = patterns_from_json(&json).expect("deserialize");
         assert_eq!(patterns, back);
+    }
+
+    #[test]
+    fn batch_roundtrips_through_json() {
+        let batch = BatchUpdate {
+            insert: vec![path(&[0, 1, 2]), path(&[7])],
+            delete: vec![GraphId(3), GraphId(11)],
+        };
+        let json = batch_to_json(&batch).expect("serialize");
+        let back = batch_from_json(&json).expect("deserialize");
+        assert_eq!(back.insert, batch.insert);
+        assert_eq!(back.delete, batch.delete);
+
+        let empty = BatchUpdate::default();
+        let back = batch_from_json(&batch_to_json(&empty).unwrap()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn malformed_batch_json_is_an_error() {
+        assert!(batch_from_json("{}").is_err());
+        assert!(batch_from_json("{\"insert\":[],\"delete\":[]} x").is_err());
+        assert!(
+            batch_from_json("{\"insert\":[{\"labels\":[0],\"edges\":[[0,1]]}],\"delete\":[]}")
+                .is_err()
+        );
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! The closed loop, driven over HTTP against a `midas-serve` daemon.
+//!
+//! Same shape as [`crate::run`] — one driver applying a batch per tick
+//! while N users formulate against the live pattern set — but every
+//! interaction crosses the wire: users `GET /v1/{tenant}/patterns`
+//! (so *read latency* is a real HTTP round trip), score staleness with
+//! a `GET /v1/{tenant}/epoch` probe plus client-side graphlet-drift
+//! math, and the driver ships each tick's batch as a server-side
+//! generator spec through `POST /v1/{tenant}/updates?mode=sync`. The
+//! tick rotation (novel-family wave every 5th tick, deletions on 5k+3,
+//! growth otherwise) matches the in-process driver, so the two reports
+//! are comparable.
+
+use crate::{LoadConfig, LoadReport, QuantileLine, TickCounters};
+use midas_datagen::MotifKind;
+use midas_graph::{GraphletDistribution, LabeledGraph};
+use midas_obs::sli::{self, QuerySample, TickSummary};
+use midas_serve::client::ServeClient;
+use midas_serve::{GenOp, GenSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// One user's loop over HTTP: GET the pattern payload, formulate the
+/// query locally (live + frozen baseline), probe the epoch endpoint to
+/// score how stale the payload already is, record. Runs until `stop`.
+fn http_user_loop(
+    client: &ServeClient,
+    tenant: &str,
+    pool: &RwLock<Arc<Vec<LabeledGraph>>>,
+    baseline: &[LabeledGraph],
+    tickc: &TickCounters,
+    stop: &AtomicBool,
+    seed: u64,
+) -> Vec<QuerySample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        let queries = Arc::clone(&pool.read().unwrap_or_else(|e| e.into_inner()));
+        if queries.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        let query = &queries[rng.random_range(0..queries.len())];
+
+        let read_start = Instant::now();
+        let payload = match client.patterns(tenant) {
+            Ok(p) => p,
+            Err(_) => break, // daemon gone (shutdown race): stop sampling
+        };
+        let read_ns = read_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+        let form_start = Instant::now();
+        let live = midas_queryform::formulate(query, &payload.patterns);
+        let formulate_ns = form_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let base = midas_queryform::formulate(query, baseline);
+
+        // Staleness of the payload we just formulated against, judged by
+        // what the daemon is publishing *now*.
+        let (staleness_batches, staleness_drift) = match client.epoch(tenant) {
+            Ok(latest) => (
+                latest.epoch.saturating_sub(payload.epoch),
+                GraphletDistribution::from_freqs(payload.graphlets)
+                    .euclidean_distance(&GraphletDistribution::from_freqs(latest.graphlets)),
+            ),
+            Err(_) => (0, 0.0),
+        };
+        let sample = QuerySample {
+            read_ns,
+            formulate_ns,
+            steps_live: live.steps as u64,
+            steps_baseline: base.steps as u64,
+            staleness_batches,
+            staleness_drift,
+        };
+        sli::record_query(&sample);
+        tickc.observe(&sample);
+        samples.push(sample);
+    }
+    samples
+}
+
+/// The driver's generator spec for `tick` — the same rotation as the
+/// in-process [`crate::run`] driver, expressed as a server-side spec so
+/// the batch is synthesized against the daemon's current database.
+fn tick_spec(cfg: &LoadConfig, db_len: u64, tick: u64) -> GenSpec {
+    let seed = cfg.seed.wrapping_add(1_000 + tick);
+    match tick % 5 {
+        0 => GenSpec {
+            op: GenOp::Novel,
+            percent: 0.0,
+            count: ((db_len / 5).max(1)) as usize,
+            motif: Some(if tick.is_multiple_of(2) {
+                MotifKind::BoronicEster
+            } else {
+                MotifKind::Phosphate
+            }),
+            seed,
+        },
+        3 => GenSpec {
+            op: GenOp::Deletion,
+            percent: cfg.batch_percent,
+            count: 0,
+            motif: None,
+            seed,
+        },
+        _ => GenSpec {
+            op: GenOp::Growth,
+            percent: cfg.batch_percent,
+            count: 0,
+            motif: None,
+            seed,
+        },
+    }
+}
+
+/// Runs the closed loop against tenant `tenant` of the daemon at `addr`.
+///
+/// The baseline pattern set (the no-maintenance comparison) is the
+/// payload of the first `GET /patterns` — callers should run this
+/// against a freshly created tenant so the baseline is epoch 0, matching
+/// the in-process harness. Errors if the daemon or tenant is
+/// unreachable; individual user-side HTTP errors end that user's
+/// sampling without failing the run.
+pub fn run_http(addr: &str, tenant: &str, cfg: &LoadConfig) -> Result<LoadReport, String> {
+    let started = Instant::now();
+    let client = ServeClient::new(addr);
+    let first = client.patterns(tenant)?;
+    let baseline: Vec<LabeledGraph> = first.patterns.clone();
+    let pool: RwLock<Arc<Vec<LabeledGraph>>> = RwLock::new(Arc::new(client.queries(
+        tenant,
+        cfg.pool,
+        cfg.query_edges,
+        cfg.seed,
+    )?));
+    let stop = AtomicBool::new(false);
+    let tickc = TickCounters::default();
+
+    let mut all: Vec<QuerySample> = Vec::new();
+    let mut driver_err: Option<String> = None;
+    std::thread::scope(|scope| {
+        let mut workers = Vec::with_capacity(cfg.users);
+        for u in 0..cfg.users {
+            let client = client.clone();
+            let pool = &pool;
+            let baseline = &baseline;
+            let tickc = &tickc;
+            let stop = &stop;
+            let seed = cfg.seed ^ ((u as u64 + 1) << 32);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("midas-http-user-{u}"))
+                    .spawn_scoped(scope, move || {
+                        http_user_loop(&client, tenant, pool, baseline, tickc, stop, seed)
+                    })
+                    .expect("spawn http load user"),
+            );
+        }
+
+        for tick in 1..=cfg.ticks {
+            let outcome = client
+                .epoch(tenant)
+                .and_then(|e| client.post_generate(tenant, &tick_spec(cfg, e.db_len, tick), true))
+                .and_then(|reply| {
+                    if reply.status == 200 {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "tick {tick}: HTTP {} {}",
+                            reply.status,
+                            reply.body.trim()
+                        ))
+                    }
+                })
+                .and_then(|()| {
+                    client.queries(
+                        tenant,
+                        cfg.pool,
+                        cfg.query_edges,
+                        cfg.seed.wrapping_add(tick),
+                    )
+                });
+            let queries = match outcome {
+                Ok(queries) => queries,
+                Err(e) => {
+                    driver_err = Some(e);
+                    break;
+                }
+            };
+            *pool.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(queries);
+            std::thread::sleep(Duration::from_millis(cfg.tick_ms));
+            let (queries, steps_live, steps_baseline, stale_max, drift_max) = tickc.drain();
+            sli::record_tick(TickSummary {
+                tick,
+                epoch: client.epoch(tenant).map(|e| e.epoch).unwrap_or(0),
+                queries,
+                steps_live,
+                steps_baseline,
+                reduction: sli::reduction_from_steps(steps_live, steps_baseline),
+                staleness_batches_max: stale_max,
+                staleness_drift_max: drift_max,
+                unix_ms: midas_obs::flight::unix_ms(),
+            });
+        }
+        stop.store(true, Ordering::Release);
+        for w in workers {
+            all.extend(w.join().expect("http load user panicked"));
+        }
+    });
+    if let Some(e) = driver_err {
+        return Err(e);
+    }
+
+    let steps_live: u64 = all.iter().map(|s| s.steps_live).sum();
+    let steps_baseline: u64 = all.iter().map(|s| s.steps_baseline).sum();
+    let drift_sum: f64 = all.iter().map(|s| s.staleness_drift).sum();
+    Ok(LoadReport {
+        users: cfg.users,
+        ticks: cfg.ticks,
+        queries: all.len() as u64,
+        steps_live,
+        steps_baseline,
+        reduction: sli::reduction_from_steps(steps_live, steps_baseline),
+        read_ns: QuantileLine::from_samples(all.iter().map(|s| s.read_ns).collect()),
+        formulate_ns: QuantileLine::from_samples(all.iter().map(|s| s.formulate_ns).collect()),
+        staleness_batches: QuantileLine::from_samples(
+            all.iter().map(|s| s.staleness_batches).collect(),
+        ),
+        staleness_drift_mean: if all.is_empty() {
+            0.0
+        } else {
+            drift_sum / all.len() as f64
+        },
+        staleness_drift_max: all.iter().map(|s| s.staleness_drift).fold(0.0, f64::max),
+        final_epoch: client.epoch(tenant).map(|e| e.epoch).unwrap_or(0),
+        wall_ms: started.elapsed().as_millis().min(u64::MAX as u128) as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use midas_serve::{ServeConfig, ServeDaemon};
+
+    #[test]
+    fn http_closed_loop_matches_the_in_process_shape() {
+        let daemon = ServeDaemon::start(ServeConfig::default()).expect("start daemon");
+        let client = ServeClient::new(daemon.addr().to_string());
+        let created = client
+            .create_tenant("loadtest", "pubchem_like", 30, 7, "small")
+            .unwrap();
+        assert_eq!(created.status, 201, "{}", created.body);
+
+        let cfg = LoadConfig {
+            users: 2,
+            ticks: 3,
+            tick_ms: 10,
+            pool: 8,
+            ..LoadConfig::default()
+        };
+        let report = run_http(&daemon.addr().to_string(), "loadtest", &cfg).unwrap();
+        assert_eq!(report.users, 2);
+        assert_eq!(report.ticks, 3);
+        assert_eq!(report.final_epoch, 3, "one sync batch per tick");
+        assert!(report.queries > 0, "users formulated during the run");
+        assert!(report.steps_baseline > 0);
+        assert!(report.reduction.is_finite());
+        assert!(report.read_ns.p50 > 0, "HTTP reads take nonzero time");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn run_http_fails_cleanly_on_unknown_tenant() {
+        let daemon = ServeDaemon::start(ServeConfig::default()).expect("start daemon");
+        let err = run_http(&daemon.addr().to_string(), "ghost", &LoadConfig::quick()).unwrap_err();
+        assert!(err.contains("404"), "{err}");
+        daemon.shutdown();
+    }
+}

@@ -48,6 +48,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod http;
+
+pub use http::run_http;
+
 use midas_core::{Midas, PatternSnapshot, Published};
 use midas_datagen::updates::{deletion_percent, growth_percent};
 use midas_datagen::{query_set, DatasetKind, MotifKind};
@@ -143,7 +147,7 @@ pub struct QuantileLine {
 }
 
 impl QuantileLine {
-    fn from_samples(mut v: Vec<u64>) -> QuantileLine {
+    pub(crate) fn from_samples(mut v: Vec<u64>) -> QuantileLine {
         if v.is_empty() {
             return QuantileLine::default();
         }
@@ -191,7 +195,7 @@ pub struct LoadReport {
 
 /// Shared per-tick accumulators (reset by the driver each tick).
 #[derive(Default)]
-struct TickCounters {
+pub(crate) struct TickCounters {
     queries: AtomicU64,
     steps_live: AtomicU64,
     steps_baseline: AtomicU64,
@@ -203,7 +207,7 @@ struct TickCounters {
 }
 
 impl TickCounters {
-    fn observe(&self, s: &QuerySample) {
+    pub(crate) fn observe(&self, s: &QuerySample) {
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.steps_live.fetch_add(s.steps_live, Ordering::Relaxed);
         self.steps_baseline
@@ -214,7 +218,7 @@ impl TickCounters {
             .fetch_max(s.staleness_drift.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
-    fn drain(&self) -> (u64, u64, u64, u64, f64) {
+    pub(crate) fn drain(&self) -> (u64, u64, u64, u64, f64) {
         (
             self.queries.swap(0, Ordering::Relaxed),
             self.steps_live.swap(0, Ordering::Relaxed),

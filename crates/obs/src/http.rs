@@ -1,5 +1,5 @@
-//! The embedded observability HTTP server — zero dependencies, hand-rolled
-//! on [`std::net::TcpListener`].
+//! The embedded observability HTTP server — zero dependencies, built on
+//! the shared serving core in [`crate::httpd`].
 //!
 //! A long-running MIDAS daemon needs a runtime window: the file exporters
 //! of [`crate::snapshot`]/[`crate::trace`] only escape the process at
@@ -18,34 +18,21 @@
 //! | `/alerts`   | Burn-rate alert states ([`crate::alerts::render_json`])  |
 //! | `/sli`      | User-facing SLIs ([`crate::sli::render_json`])           |
 //!
-//! Architecture: one accept-loop thread pushes connections into a bounded
-//! channel drained by a small worker pool ([`WORKERS`] threads). Requests
-//! are `GET`-only, answered `Connection: close`, capped at
-//! [`MAX_REQUEST_BYTES`] — a scrape endpoint, not a web framework. All
-//! data served is read-only over the global registry and flight recorder,
-//! so a slow scraper never blocks a maintenance batch.
+//! Listener, bounded accept queue, worker pool and request parsing all
+//! live in [`crate::httpd`] (shared with the pattern-serving daemon);
+//! this module is just the GET-only observability router on top. All
+//! data served is read-only over the global registry and flight
+//! recorder, so a slow scraper never blocks a maintenance batch.
 
+use crate::httpd::{Handler, HttpServer, Request, Response};
 use crate::snapshot::MetricsSnapshot;
 use crate::{flight, prom};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Worker threads draining the accept queue.
-const WORKERS: usize = 2;
-
-/// Pending-connection queue bound (beyond it, accepts block briefly).
-const QUEUE: usize = 32;
-
-/// Hard cap on request head size (line + headers).
-const MAX_REQUEST_BYTES: u64 = 8 * 1024;
-
-/// Per-connection socket timeout.
-const IO_TIMEOUT: Duration = Duration::from_secs(5);
+const WORKERS: usize = 4;
 
 /// The embedded observability server. Dropping (or [`shutdown`]) stops
 /// the accept loop and joins every thread.
@@ -53,9 +40,7 @@ const IO_TIMEOUT: Duration = Duration::from_secs(5);
 /// [`shutdown`]: ObsServer::shutdown
 #[derive(Debug)]
 pub struct ObsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl ObsServer {
@@ -63,127 +48,34 @@ impl ObsServer {
     /// starts serving. The bound address — with the real port — is
     /// [`ObsServer::addr`].
     pub fn start(addr: &str) -> std::io::Result<ObsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
-        let (tx, rx): (SyncSender<TcpStream>, Receiver<TcpStream>) = sync_channel(QUEUE);
-        let rx = Arc::new(Mutex::new(rx));
-        let mut threads = Vec::with_capacity(WORKERS + 1);
-        for i in 0..WORKERS {
-            let rx = Arc::clone(&rx);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("midas-obs-worker-{i}"))
-                    .spawn(move || loop {
-                        let stream = match rx.lock() {
-                            Ok(guard) => guard.recv(),
-                            Err(_) => return,
-                        };
-                        match stream {
-                            Ok(stream) => handle_connection(stream, started),
-                            Err(_) => return, // sender gone: shutdown
-                        }
-                    })?,
-            );
-        }
-        {
-            let stop = Arc::clone(&stop);
-            threads.push(
-                std::thread::Builder::new()
-                    .name("midas-obs-accept".into())
-                    .spawn(move || {
-                        for stream in listener.incoming() {
-                            if stop.load(Ordering::Acquire) {
-                                return; // drops tx → workers drain and exit
-                            }
-                            if let Ok(stream) = stream {
-                                // A full queue applies backpressure to the
-                                // scraper, never to the maintenance loop.
-                                let _ = tx.send(stream);
-                            }
-                        }
-                    })?,
-            );
-        }
-        Ok(ObsServer {
-            addr: local,
-            stop,
-            threads,
-        })
+        let handler: Handler = Arc::new(move |req: &Request| {
+            if req.method != "GET" {
+                // RFC 9110: a known resource that only supports GET
+                // answers 405 with an `Allow` header; an unknown one is
+                // still just a 404.
+                if KNOWN_PATHS.contains(&req.path.as_str()) {
+                    Response::text(405, "method not allowed\n").with_header("Allow: GET")
+                } else {
+                    Response::not_found()
+                }
+            } else {
+                route(&req.path, started)
+            }
+        });
+        let inner = HttpServer::start(addr, "midas-obs", WORKERS, handler)?;
+        Ok(ObsServer { inner })
     }
 
     /// The bound address (real port even when started on `:0`).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stops accepting, drains the workers, and joins every thread.
-    pub fn shutdown(mut self) {
-        self.stop_threads();
+    pub fn shutdown(self) {
+        self.inner.shutdown();
     }
-
-    fn stop_threads(&mut self) {
-        if self.stop.swap(true, Ordering::AcqRel) {
-            return;
-        }
-        // Unblock the accept loop with one throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
-        for t in self.threads.drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-impl Drop for ObsServer {
-    fn drop(&mut self) {
-        self.stop_threads();
-    }
-}
-
-/// Reads the request head, routes it, writes the response. Any I/O error
-/// just drops the connection — the scraper retries, the daemon does not
-/// care.
-fn handle_connection(stream: TcpStream, started: Instant) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let mut reader = BufReader::new(&stream).take(MAX_REQUEST_BYTES);
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line).is_err() {
-        return;
-    }
-    // Drain headers so the client sees a clean close.
-    let mut header = String::new();
-    while reader.read_line(&mut header).is_ok() {
-        if header == "\r\n" || header == "\n" || header.is_empty() {
-            break;
-        }
-        header.clear();
-    }
-    let mut parts = request_line.split_whitespace();
-    let (method, path) = match (parts.next(), parts.next()) {
-        (Some(m), Some(p)) => (m, p),
-        _ => return,
-    };
-    let path = normalize_path(path);
-    let response = if method != "GET" {
-        // RFC 9110: a known resource that only supports GET answers 405
-        // with an `Allow` header; an unknown one is still just a 404.
-        if KNOWN_PATHS.contains(&path) {
-            respond_with(
-                405,
-                "text/plain; charset=utf-8",
-                "method not allowed\n",
-                &["Allow: GET"],
-            )
-        } else {
-            respond(404, "text/plain; charset=utf-8", "not found\n")
-        }
-    } else {
-        route(path, started)
-    };
-    let _ = (&stream).write_all(response.as_bytes());
-    let _ = (&stream).flush();
 }
 
 /// Every resource the server exposes (canonical, slash-free form).
@@ -198,51 +90,26 @@ const KNOWN_PATHS: [&str; 8] = [
     "/sli",
 ];
 
-/// Canonicalizes a request target for routing: the query string (and any
-/// fragment) is dropped and trailing slashes are stripped, so
-/// `GET /metrics?job=x` and `GET /healthz/` hit their endpoints instead of
-/// 404ing. The bare root stays `/`.
-fn normalize_path(target: &str) -> &str {
-    let path = target.split(['?', '#']).next().unwrap_or(target);
-    let trimmed = path.trim_end_matches('/');
-    if trimmed.is_empty() {
-        "/"
-    } else {
-        trimmed
-    }
-}
-
 /// Dispatches one GET path (already normalized) to its payload.
-fn route(path: &str, started: Instant) -> String {
+fn route(path: &str, started: Instant) -> Response {
     match path {
         "/metrics" => {
             let body = prom::render_live(&MetricsSnapshot::capture());
-            respond(200, "text/plain; version=0.0.4; charset=utf-8", &body)
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8".into(),
+                body,
+                extra_headers: Vec::new(),
+            }
         }
-        "/snapshot" => respond(
-            200,
-            "application/json; charset=utf-8",
-            &MetricsSnapshot::capture().to_json(),
-        ),
-        "/healthz" => respond(200, "application/json; charset=utf-8", &healthz(started)),
-        "/flight" => respond(200, "application/json; charset=utf-8", &flight::dump_json()),
-        "/profile" => respond(200, "text/plain; charset=utf-8", &crate::profile::folded()),
-        "/slow" => respond(
-            200,
-            "application/json; charset=utf-8",
-            &crate::exemplar::render_json(),
-        ),
-        "/alerts" => respond(
-            200,
-            "application/json; charset=utf-8",
-            &crate::alerts::render_json(),
-        ),
-        "/sli" => respond(
-            200,
-            "application/json; charset=utf-8",
-            &crate::sli::render_json(),
-        ),
-        _ => respond(404, "text/plain; charset=utf-8", "not found\n"),
+        "/snapshot" => Response::json(200, MetricsSnapshot::capture().to_json()),
+        "/healthz" => Response::json(200, healthz(started)),
+        "/flight" => Response::json(200, flight::dump_json()),
+        "/profile" => Response::text(200, crate::profile::folded()),
+        "/slow" => Response::json(200, crate::exemplar::render_json()),
+        "/alerts" => Response::json(200, crate::alerts::render_json()),
+        "/sli" => Response::json(200, crate::sli::render_json()),
+        _ => Response::not_found(),
     }
 }
 
@@ -284,34 +151,13 @@ fn healthz(started: Instant) -> String {
     )
 }
 
-/// Formats one complete HTTP/1.1 response with `Connection: close`.
-fn respond(status: u16, content_type: &str, body: &str) -> String {
-    respond_with(status, content_type, body, &[])
-}
-
-/// [`respond`], plus extra response headers (e.g. `Allow: GET` on a 405).
-fn respond_with(status: u16, content_type: &str, body: &str, extra_headers: &[&str]) -> String {
-    let reason = match status {
-        200 => "OK",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        _ => "Error",
-    };
-    let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
-        body.len()
-    );
-    for h in extra_headers {
-        head.push_str(h);
-        head.push_str("\r\n");
-    }
-    format!("{head}\r\n{body}")
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::json;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::time::Duration;
 
     /// Minimal test client: one GET, returns (status line, body).
     fn get(addr: SocketAddr, path: &str) -> (String, String) {
@@ -494,18 +340,6 @@ mod tests {
             assert!(status.contains("404"), "{path}: {status}");
         }
         server.shutdown();
-    }
-
-    #[test]
-    fn normalize_path_canonicalizes_targets() {
-        assert_eq!(normalize_path("/metrics"), "/metrics");
-        assert_eq!(normalize_path("/metrics/"), "/metrics");
-        assert_eq!(normalize_path("/metrics///"), "/metrics");
-        assert_eq!(normalize_path("/metrics?job=x"), "/metrics");
-        assert_eq!(normalize_path("/metrics/?job=x"), "/metrics");
-        assert_eq!(normalize_path("/metrics#frag"), "/metrics");
-        assert_eq!(normalize_path("/"), "/");
-        assert_eq!(normalize_path("/?q"), "/");
     }
 
     #[test]

@@ -57,6 +57,7 @@ pub mod config;
 pub mod exemplar;
 pub mod flight;
 pub mod http;
+pub mod httpd;
 pub mod json;
 pub mod log;
 pub mod profile;
@@ -71,6 +72,7 @@ pub use alerts::{AlertEval, AlertState, SloConfig};
 pub use config::TelemetryConfig;
 pub use flight::{BatchSummary, FlightEvent};
 pub use http::ObsServer;
+pub use httpd::{Handler, HttpServer, Request, Response};
 pub use log::LogLevel;
 pub use registry::{Counter, Gauge, Histogram};
 pub use sli::{QuerySample, TickSummary};

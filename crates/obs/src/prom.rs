@@ -69,28 +69,92 @@ fn number(v: f64) -> String {
     }
 }
 
-/// Renders one summary-style family (quantiles + `_sum`/`_count`/`_max`).
+/// Builds a *labeled* registry metric name: `base{key="value",...}` with
+/// keys sanitized and values escaped.
+///
+/// The [`crate::registry`] is name-keyed and has no label dimension, so
+/// multi-tenant series (one counter per tenant) register under names
+/// carrying an embedded label block; the renderer ([`family_of`]) splits
+/// it back apart so the exposition carries real Prometheus labels —
+/// `midas_serve_reads{tenant="acme"}` — instead of a mangled flat name.
+pub fn labeled(base: &str, labels: &[(&str, &str)]) -> String {
+    let pairs = labels
+        .iter()
+        .map(|(k, v)| format!("{}=\"{}\"", sanitize_name(k), escape_label_value(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("{base}{{{pairs}}}")
+}
+
+/// Splits a registry name into its sanitized family and the literal label
+/// block (without braces), undoing [`labeled`]. Names without an embedded
+/// block sanitize whole, as before.
+fn family_of(name: &str) -> (String, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (sanitize_name(base), rest.strip_suffix('}').or(Some(rest))),
+        None => (sanitize_name(name), None),
+    }
+}
+
+/// Pushes one sample line: `family{labels} value` (labels optional).
+fn push_sample(out: &mut String, family: &str, labels: Option<&str>, value: &str) {
+    match labels {
+        Some(l) => {
+            let _ = writeln!(out, "{family}{{{l}}} {value}");
+        }
+        None => {
+            let _ = writeln!(out, "{family} {value}");
+        }
+    }
+}
+
+/// Emits the `# TYPE` comment once per (family, kind) — labeled series
+/// share a family, and Prometheus rejects duplicate TYPE lines.
+fn push_type(
+    out: &mut String,
+    typed: &mut std::collections::HashSet<String>,
+    family: &str,
+    kind: &str,
+) {
+    if typed.insert(format!("{family} {kind}")) {
+        let _ = writeln!(out, "# TYPE {family} {kind}");
+    }
+}
+
+/// Renders one summary-style family (quantiles + `_sum`/`_count`/`_max`),
+/// merging any embedded label block into every series.
 ///
 /// A family with zero samples (possible for sliding windows whose samples
 /// all aged out) emits *no* quantile series — a quantile of an empty sample
 /// set is undefined (`NaN` in Prometheus semantics, which its text parser
 /// rejects for summaries), so only `_sum`/`_count`/`_max` are kept.
-fn push_summary(out: &mut String, family: &str, h: &HistogramSnapshot) {
-    let _ = writeln!(out, "# TYPE {family} summary");
+fn push_summary(
+    out: &mut String,
+    typed: &mut std::collections::HashSet<String>,
+    family: &str,
+    labels: Option<&str>,
+    h: &HistogramSnapshot,
+) {
+    push_type(out, typed, family, "summary");
     if h.count > 0 {
         for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
-            let _ = writeln!(
-                out,
-                "{family}{{quantile=\"{}\"}} {}",
-                escape_label_value(label),
-                h.quantile(q)
-            );
+            let quantile = format!("quantile=\"{}\"", escape_label_value(label));
+            let merged = match labels {
+                Some(l) => format!("{l},{quantile}"),
+                None => quantile,
+            };
+            let _ = writeln!(out, "{family}{{{merged}}} {}", h.quantile(q));
         }
     }
-    let _ = writeln!(out, "{family}_sum {}", h.sum);
-    let _ = writeln!(out, "{family}_count {}", h.count);
-    let _ = writeln!(out, "# TYPE {family}_max gauge");
-    let _ = writeln!(out, "{family}_max {}", h.max);
+    push_sample(out, &format!("{family}_sum"), labels, &h.sum.to_string());
+    push_sample(
+        out,
+        &format!("{family}_count"),
+        labels,
+        &h.count.to_string(),
+    );
+    push_type(out, typed, &format!("{family}_max"), "gauge");
+    push_sample(out, &format!("{family}_max"), labels, &h.max.to_string());
 }
 
 /// Renders the whole snapshot as one Prometheus scrape body (pure over
@@ -98,27 +162,33 @@ fn push_summary(out: &mut String, family: &str, h: &HistogramSnapshot) {
 /// exemplar hints from process-global state).
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    let mut typed = std::collections::HashSet::new();
     for (name, v) in &snap.counters {
-        let family = format!("{PREFIX}{}", sanitize_name(name));
-        let _ = writeln!(out, "# TYPE {family} counter");
-        let _ = writeln!(out, "{family} {v}");
+        let (fam, labels) = family_of(name);
+        let family = format!("{PREFIX}{fam}");
+        push_type(&mut out, &mut typed, &family, "counter");
+        push_sample(&mut out, &family, labels, &v.to_string());
     }
     for (name, v) in &snap.gauges {
-        let family = format!("{PREFIX}{}", sanitize_name(name));
-        let _ = writeln!(out, "# TYPE {family} gauge");
-        let _ = writeln!(out, "{family} {}", number(*v));
+        let (fam, labels) = family_of(name);
+        let family = format!("{PREFIX}{fam}");
+        push_type(&mut out, &mut typed, &family, "gauge");
+        push_sample(&mut out, &family, labels, &number(*v));
     }
     for (name, h) in &snap.histograms {
-        let family = format!("{PREFIX}{}", sanitize_name(name));
-        push_summary(&mut out, &family, h);
+        let (fam, labels) = family_of(name);
+        let family = format!("{PREFIX}{fam}");
+        push_summary(&mut out, &mut typed, &family, labels, h);
     }
     for (name, s) in &snap.spans {
-        let family = format!("{PREFIX}span_{}_duration_us", sanitize_name(name));
-        push_summary(&mut out, &family, &s.durations);
+        let (fam, labels) = family_of(name);
+        let family = format!("{PREFIX}span_{fam}_duration_us");
+        push_summary(&mut out, &mut typed, &family, labels, &s.durations);
     }
     for (name, w) in &snap.windows {
-        let family = format!("{PREFIX}{}_window", sanitize_name(name));
-        push_summary(&mut out, &family, w);
+        let (fam, labels) = family_of(name);
+        let family = format!("{PREFIX}{fam}_window");
+        push_summary(&mut out, &mut typed, &family, labels, w);
     }
     out
 }
@@ -272,6 +342,61 @@ mod tests {
         );
         s.reset();
         crate::alerts::configure(crate::alerts::SloConfig::default());
+    }
+
+    #[test]
+    fn labeled_builds_and_render_splits_label_blocks() {
+        assert_eq!(
+            labeled("serve.reads", &[("tenant", "acme")]),
+            "serve.reads{tenant=\"acme\"}"
+        );
+        assert_eq!(
+            labeled("serve.reads", &[("tenant", "a\"b")]),
+            "serve.reads{tenant=\"a\\\"b\"}"
+        );
+        let mut snap = MetricsSnapshot::default();
+        snap.counters
+            .insert(labeled("serve.reads", &[("tenant", "acme")]), 7);
+        snap.counters
+            .insert(labeled("serve.reads", &[("tenant", "globex")]), 3);
+        snap.gauges
+            .insert(labeled("serve.epoch", &[("tenant", "acme")]), 4.0);
+        snap.histograms.insert(
+            labeled("serve.read_ns", &[("tenant", "acme")]),
+            HistogramSnapshot {
+                count: 1,
+                sum: 10,
+                max: 10,
+                buckets: vec![(15, 1)],
+            },
+        );
+        let doc = render(&snap);
+        assert!(
+            doc.contains("midas_serve_reads{tenant=\"acme\"} 7"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("midas_serve_reads{tenant=\"globex\"} 3"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("midas_serve_epoch{tenant=\"acme\"} 4"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("midas_serve_read_ns{tenant=\"acme\",quantile=\"0.5\"}"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("midas_serve_read_ns_sum{tenant=\"acme\"} 10"),
+            "{doc}"
+        );
+        // One TYPE line per family, however many tenants share it.
+        assert_eq!(
+            doc.matches("# TYPE midas_serve_reads counter").count(),
+            1,
+            "{doc}"
+        );
     }
 
     #[test]

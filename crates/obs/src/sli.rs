@@ -127,9 +127,22 @@ fn tick_ring() -> &'static Mutex<VecDeque<TickSummary>> {
 
 /// Records one per-tick summary: ring + `sli.ticks` counter + reduction
 /// gauge + one flight-recorder event. No-op while telemetry is disabled.
+///
+/// A zero-baseline tick (empty query pool, zero-query tick) computed
+/// naively as `1 − live/baseline` arrives as NaN or ±∞; both fields are
+/// sanitized to `0.0` here so the gauge, the tick ring, the `/sli` JSON
+/// and the `midas_sli_*` exposition stay finite no matter what the
+/// producer handed over.
 pub fn record_tick(t: TickSummary) {
     if !crate::enabled() {
         return;
+    }
+    let mut t = t;
+    if !t.reduction.is_finite() {
+        t.reduction = 0.0;
+    }
+    if !t.staleness_drift_max.is_finite() {
+        t.staleness_drift_max = 0.0;
     }
     registry().counter("sli.ticks").add(1);
     registry().gauge("sli.tick_reduction").set(t.reduction);
@@ -320,6 +333,57 @@ mod tests {
         let doc = render_json();
         json::validate(&doc).expect("sli JSON validates");
         assert!(doc.contains("\"last_tick\": 0.25"), "{doc}");
+        clear_ticks();
+    }
+
+    #[test]
+    fn zero_baseline_tick_stays_finite_everywhere() {
+        // A tick that saw no baseline steps (empty pool / zero-query
+        // tick): the naive `1 - live/baseline` is NaN (0/0) or -inf
+        // (live>0, baseline 0). Whatever the producer computed, the
+        // recorded tick, the `/sli` JSON and the Prometheus gauge must
+        // all stay finite.
+        let _g = crate::tests::exclusive();
+        crate::set_enabled(true);
+        clear_ticks();
+        for bad in [f64::NAN, f64::NEG_INFINITY, f64::INFINITY] {
+            record_tick(TickSummary {
+                tick: 1,
+                queries: 0,
+                steps_live: 0,
+                steps_baseline: 0,
+                reduction: bad,
+                staleness_drift_max: bad,
+                ..TickSummary::default()
+            });
+        }
+        crate::set_enabled(false);
+        for t in ticks() {
+            assert_eq!(t.reduction, 0.0, "sanitized in the ring");
+            assert_eq!(t.staleness_drift_max, 0.0);
+        }
+        assert_eq!(
+            registry().gauge("sli.tick_reduction").get(),
+            0.0,
+            "gauge sanitized"
+        );
+        let doc = render_json();
+        json::validate(&doc).expect("sli JSON validates");
+        for token in ["NaN", "nan", "inf"] {
+            assert!(!doc.contains(token), "{token} leaked into /sli: {doc}");
+        }
+        let prom = crate::prom::render(&crate::snapshot::MetricsSnapshot::capture());
+        for line in prom
+            .lines()
+            .filter(|l| !l.starts_with('#') && l.contains("sli_tick_reduction"))
+        {
+            if let Some((_, v)) = line.rsplit_once(' ') {
+                assert!(
+                    v.parse::<f64>().map(f64::is_finite).unwrap_or(false),
+                    "{line}"
+                );
+            }
+        }
         clear_ticks();
     }
 

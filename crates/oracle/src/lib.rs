@@ -4,7 +4,7 @@
 //! in the workspace is cross-checked against its slow reference twin on a
 //! seeded, fully reproducible world from `midas-datagen`.
 //!
-//! The six checks ([`Oracle::run_all`]):
+//! The seven checks ([`Oracle::run_all`]):
 //!
 //! 1. **`kernel_vs_serial`** — [`MatchKernel`] / `EmbeddingCache` counts
 //!    and containment vs the serial VF2 walkers
@@ -26,6 +26,10 @@
 //!    ([`midas_graph::plan`]) vs the VF2 reference on random pairs:
 //!    capped counts at several caps, coverage booleans, and the full
 //!    embedding *sets* (as sorted mappings) must agree exactly.
+//! 7. **`serve_vs_library`** — the `midas-serve` daemon vs an in-process
+//!    [`Midas`] fed the same bootstrap graphs and the same explicit
+//!    batch sequence through sync updates: the served pattern set,
+//!    epoch, and database size must be **bit-identical** at every step.
 //!
 //! Divergences are reported as structured JSON (reusing `midas_obs::json`)
 //! with the offending graph pair **minimized** by greedy vertex removal
@@ -244,13 +248,14 @@ impl Oracle {
             checks: Vec::new(),
             divergences: Vec::new(),
         };
-        let checks: [(&'static str, CheckFn); 6] = [
+        let checks: [(&'static str, CheckFn); 7] = [
             ("kernel_vs_serial", Oracle::check_kernel_vs_serial),
             ("incremental_mining", Oracle::check_incremental_mining),
             ("graphlet_monitor", Oracle::check_monitor),
             ("ged_bounds", Oracle::check_ged_bounds),
             ("multi_scan_swap", Oracle::check_swap),
             ("plan_vs_vf2", Oracle::check_plan_vs_vf2),
+            ("serve_vs_library", Oracle::check_serve_vs_library),
         ];
         for (name, check) in checks {
             let cases = check(self, &mut report.divergences);
@@ -766,6 +771,119 @@ impl Oracle {
         }
         cases
     }
+
+    /// Check 7: the serving daemon against the library, bit for bit.
+    ///
+    /// Both sides bootstrap [`Midas`] (via the same embedded entry point
+    /// and the same `small` config preset) on the same graphs, then apply
+    /// the same explicit batch sequence — the library side directly, the
+    /// serve side through `POST /updates?mode=sync` over real HTTP. After
+    /// bootstrap and after every batch, the pattern set the daemon serves
+    /// must equal the library's **exactly** (same graphs, same order),
+    /// along with the epoch and database size. Any drift here means the
+    /// network layer changed maintenance semantics.
+    fn check_serve_vs_library(&self, out: &mut Vec<Divergence>) -> usize {
+        use midas_serve::client::ServeClient;
+        use midas_serve::{ServeConfig, ServeDaemon};
+
+        let world = DatasetSpec::new(DatasetKind::EmolLike, 18, self.seed ^ 0x70).generate();
+        let graphs: Vec<LabeledGraph> = world.db.iter().map(|(_, g)| g.as_ref().clone()).collect();
+        let params = DatasetKind::EmolLike.params();
+
+        // Library side: the same embedded bootstrap the daemon uses.
+        let library_db = GraphDb::from_graphs(graphs.iter().cloned());
+        let mut library = match Midas::bootstrap_embedded(library_db, MidasConfig::small_defaults())
+        {
+            Ok(m) => m,
+            Err(e) => {
+                out.push(serve_divergence(
+                    "library bootstrap",
+                    "a bootstrapped Midas",
+                    &format!("error: {e}"),
+                ));
+                return 1;
+            }
+        };
+
+        // Serve side: a real daemon, the tenant created from the same
+        // graphs with the same config preset.
+        let daemon = match ServeDaemon::start(ServeConfig::default()) {
+            Ok(d) => d,
+            Err(e) => {
+                out.push(serve_divergence(
+                    "daemon start",
+                    "a listening daemon",
+                    &format!("error: {e}"),
+                ));
+                return 1;
+            }
+        };
+        let client = ServeClient::new(daemon.addr().to_string());
+        let created = client.create_tenant_with_graphs("parity", &graphs, "small");
+        if !matches!(&created, Ok(r) if r.status == 201) {
+            out.push(serve_divergence(
+                "tenant create",
+                "HTTP 201",
+                &format!("{created:?}"),
+            ));
+            return 1;
+        }
+
+        // The explicit batch sequence: growth, deletion, growth — the
+        // deletion drawn against the library database *at that step*, so
+        // both sides see the identical `BatchUpdate`.
+        let mut cases = 0;
+        for step in 0..4 {
+            let batch = match step {
+                0 => None, // compare the bootstrap state first
+                1 => Some(growth_batch(&params, 5, self.seed ^ 0x71)),
+                2 => Some(deletion_batch(library.db(), 3, self.seed ^ 0x72)),
+                _ => Some(growth_batch(&params, 4, self.seed ^ 0x73)),
+            };
+            if let Some(batch) = batch {
+                let _ = library.apply_batch(batch.clone());
+                let reply = client.post_batch("parity", &batch, true);
+                if !matches!(&reply, Ok(r) if r.status == 200) {
+                    out.push(serve_divergence(
+                        &format!("step {step}: sync update"),
+                        "HTTP 200",
+                        &format!("{reply:?}"),
+                    ));
+                    return cases + 1;
+                }
+            }
+            let want = library.pattern_snapshot();
+            let got = match client.patterns("parity") {
+                Ok(p) => p,
+                Err(e) => {
+                    out.push(serve_divergence(
+                        &format!("step {step}: GET patterns"),
+                        "a pattern payload",
+                        &format!("error: {e}"),
+                    ));
+                    return cases + 1;
+                }
+            };
+            cases += 1;
+            if got.epoch != want.epoch || got.db_len as usize != want.db_len {
+                out.push(serve_divergence(
+                    &format!("step {step}: epoch/db_len"),
+                    &format!("epoch {} over {} graphs", want.epoch, want.db_len),
+                    &format!("epoch {} over {} graphs", got.epoch, got.db_len),
+                ));
+            }
+            cases += 1;
+            if got.patterns != want.patterns {
+                out.push(serve_divergence(
+                    &format!("step {step}: pattern set"),
+                    &format!("{} patterns (library, exact)", want.patterns.len()),
+                    &format!("{} patterns (served)", got.patterns.len()),
+                ));
+            }
+        }
+        daemon.shutdown();
+        cases
+    }
 }
 
 /// One differential check: collects divergences, returns its case count.
@@ -859,6 +977,18 @@ fn plan_divergence(
         expected,
         actual,
         witness: Some(witness),
+    }
+}
+
+/// A `serve_vs_library` divergence (no graph witness — the batches are
+/// explicit and seeded, so the case string is the reproduction recipe).
+fn serve_divergence(case: &str, expected: &str, actual: &str) -> Divergence {
+    Divergence {
+        check: "serve_vs_library",
+        case: case.to_owned(),
+        expected: expected.to_owned(),
+        actual: actual.to_owned(),
+        witness: None,
     }
 }
 
@@ -1076,6 +1206,15 @@ mod tests {
         let mut divergences = Vec::new();
         let cases = oracle.check_monitor(&mut divergences);
         assert!(cases >= 12);
+        assert!(divergences.is_empty(), "{:?}", divergences.first());
+    }
+
+    #[test]
+    fn serve_parity_check_runs_clean() {
+        let oracle = Oracle::new(11);
+        let mut divergences = Vec::new();
+        let cases = oracle.check_serve_vs_library(&mut divergences);
+        assert_eq!(cases, 8, "bootstrap + 3 batches, 2 comparisons each");
         assert!(divergences.is_empty(), "{:?}", divergences.first());
     }
 }

@@ -1,0 +1,525 @@
+//! The `/v1` HTTP API: routing and handlers.
+//!
+//! | Method | Path                      | Effect                                              |
+//! |--------|---------------------------|-----------------------------------------------------|
+//! | GET    | `/healthz`                | Daemon liveness + tenant count                      |
+//! | GET    | `/v1/tenants`             | List tenants with epochs and sizes                  |
+//! | POST   | `/v1/tenants`             | Create a tenant (dataset spec or explicit graphs)   |
+//! | GET    | `/v1/{t}/patterns`        | Current pattern snapshot (lock-free read)           |
+//! | GET    | `/v1/{t}/epoch`           | Epoch/staleness probe (no pattern payload)          |
+//! | GET    | `/v1/{t}/queries`         | Sample a query workload from the tenant's database  |
+//! | POST   | `/v1/{t}/updates`         | Enqueue (or `?mode=sync` apply) an update batch     |
+//! | POST   | `/v1/{t}/querylog`        | Log formulated queries, feeding the `/sli` metrics  |
+//! | DELETE | `/v1/{t}`                 | Remove a tenant                                     |
+//!
+//! Handlers run on the HTTP worker pool; everything that can block on
+//! maintenance is explicit: `GET` pattern reads never take the tenant's
+//! `Midas` mutex, `POST /updates` without `mode=sync` only enqueues.
+
+use crate::json::{self, Value};
+use crate::tenant::{GenOp, GenSpec, Ingest, Tenant};
+use crate::ServeState;
+use midas_core::MidasConfig;
+use midas_datagen::{DatasetKind, DatasetSpec, MotifKind};
+use midas_graph::{io, BatchUpdate, GraphId};
+use midas_obs::httpd::{Request, Response};
+use midas_obs::json as js;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a `?mode=sync` update waits for the queue to drain before
+/// answering 503 (the batch stays queued and will still apply).
+const SYNC_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Tenant names: 1–64 chars of `[a-z0-9_-]` — safe in paths, label
+/// values, and log lines without any escaping.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 64
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-')
+}
+
+/// Maps a config preset name to a [`MidasConfig`]. The oracle's parity
+/// check uses the same mapping on the library side, so a preset means
+/// the *same* configuration through both paths.
+pub fn config_preset(name: &str) -> Option<MidasConfig> {
+    match name {
+        "small" => Some(MidasConfig::small_defaults()),
+        "default" => Some(MidasConfig::default()),
+        _ => None,
+    }
+}
+
+fn dataset_kind(name: &str) -> Option<DatasetKind> {
+    match name {
+        "aids_like" => Some(DatasetKind::AidsLike),
+        "pubchem_like" => Some(DatasetKind::PubchemLike),
+        "emol_like" => Some(DatasetKind::EmolLike),
+        _ => None,
+    }
+}
+
+fn kind_name(kind: DatasetKind) -> &'static str {
+    match kind {
+        DatasetKind::AidsLike => "aids_like",
+        DatasetKind::PubchemLike => "pubchem_like",
+        DatasetKind::EmolLike => "emol_like",
+    }
+}
+
+fn motif_kind(name: &str) -> Option<MotifKind> {
+    Some(match name {
+        "benzene_ring" => MotifKind::BenzeneRing,
+        "five_ring" => MotifKind::FiveRing,
+        "pyridine_ring" => MotifKind::PyridineRing,
+        "thiophene_ring" => MotifKind::ThiopheneRing,
+        "carboxyl" => MotifKind::Carboxyl,
+        "amine" => MotifKind::Amine,
+        "amide" => MotifKind::Amide,
+        "hydroxyl" => MotifKind::Hydroxyl,
+        "thiol" => MotifKind::Thiol,
+        "phosphate" => MotifKind::Phosphate,
+        "chloride" => MotifKind::Chloride,
+        "fluoride" => MotifKind::Fluoride,
+        "boronic_acid" => MotifKind::BoronicAcid,
+        "boronic_ester" => MotifKind::BoronicEster,
+        "chain" => MotifKind::Chain,
+        "cyclopropane" => MotifKind::Cyclopropane,
+        "fused_bicycle" => MotifKind::FusedBicycle,
+        _ => return None,
+    })
+}
+
+/// Routes one request against the daemon state.
+pub fn route(state: &ServeState, req: &Request) -> Response {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => healthz(state),
+        ("GET", ["v1", "tenants"]) => list_tenants(state),
+        ("POST", ["v1", "tenants"]) => create_tenant(state, req),
+        ("GET", ["v1", tenant, "patterns"]) => with_tenant(state, tenant, patterns),
+        ("GET", ["v1", tenant, "epoch"]) => with_tenant(state, tenant, epoch),
+        ("GET", ["v1", tenant, "queries"]) => with_tenant(state, tenant, |t| queries(t, req)),
+        ("POST", ["v1", tenant, "updates"]) => {
+            with_tenant(state, tenant, |t| updates(state, t, req))
+        }
+        ("POST", ["v1", tenant, "querylog"]) => with_tenant(state, tenant, |t| querylog(t, req)),
+        ("DELETE", ["v1", tenant]) => delete_tenant(state, tenant),
+        ("GET" | "POST" | "DELETE", _) => Response::not_found(),
+        _ => Response::text(405, "method not allowed\n").with_header("Allow: GET, POST, DELETE"),
+    }
+}
+
+fn with_tenant(
+    state: &ServeState,
+    name: &str,
+    f: impl FnOnce(&Arc<Tenant>) -> Response,
+) -> Response {
+    match state.tenant(name) {
+        Some(tenant) => f(&tenant),
+        None => Response::json(
+            404,
+            format!(
+                "{{\"error\": \"unknown tenant\", \"tenant\": {}}}\n",
+                js::quote(name)
+            ),
+        ),
+    }
+}
+
+fn healthz(state: &ServeState) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"status\": \"ok\", \"tenants\": {}, \"uptime_s\": {}, \"maintenance_workers\": {}}}\n",
+            state.tenant_count(),
+            state.uptime().as_secs(),
+            state.maintenance_workers()
+        ),
+    )
+}
+
+fn tenant_summary(t: &Tenant) -> String {
+    let snap = t.snapshot();
+    format!(
+        "{{\"tenant\": {}, \"kind\": {}, \"epoch\": {}, \"db_len\": {}, \"patterns\": {}, \"pending_batches\": {}, \"busy\": {}, \"created_unix_ms\": {}}}",
+        js::quote(&t.name),
+        js::quote(kind_name(t.kind)),
+        snap.epoch,
+        snap.db_len,
+        snap.patterns.len(),
+        t.pending_len(),
+        t.busy(),
+        t.created_unix_ms()
+    )
+}
+
+fn list_tenants(state: &ServeState) -> Response {
+    let summaries: Vec<String> = state.tenants().iter().map(|t| tenant_summary(t)).collect();
+    Response::json(
+        200,
+        format!("{{\"tenants\": [{}]}}\n", summaries.join(", ")),
+    )
+}
+
+/// `POST /v1/tenants` body:
+///
+/// ```json
+/// {"name": "acme",
+///  "dataset": {"kind": "pubchem_like", "size": 120, "seed": 41},
+///  "config": "small"}
+/// ```
+///
+/// or, instead of `dataset`, explicit `"graphs": [{...}, ...]` (inserted
+/// with ids `0..n`).
+fn create_tenant(state: &ServeState, req: &Request) -> Response {
+    let body = match req.body_str() {
+        Some(b) if !b.trim().is_empty() => b,
+        _ => return Response::bad_request("missing JSON body"),
+    };
+    let doc = match Value::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::bad_request(&format!("invalid JSON: {e}")),
+    };
+    let name = match doc.get("name").and_then(Value::as_str) {
+        Some(n) if valid_name(n) => n.to_owned(),
+        Some(n) => {
+            return Response::bad_request(&format!(
+                "invalid tenant name {n:?} (want 1-64 chars of [a-z0-9_-])"
+            ))
+        }
+        None => return Response::bad_request("missing \"name\""),
+    };
+    let config = match doc.get("config").and_then(Value::as_str) {
+        None => MidasConfig::small_defaults(),
+        Some(preset) => match config_preset(preset) {
+            Some(c) => c,
+            None => return Response::bad_request(&format!("unknown config preset {preset:?}")),
+        },
+    };
+    let (kind, db) = if let Some(spec) = doc.get("dataset") {
+        let kind = match spec.get("kind").and_then(Value::as_str).map(dataset_kind) {
+            Some(Some(k)) => k,
+            Some(None) => return Response::bad_request("unknown dataset kind"),
+            None => return Response::bad_request("dataset missing \"kind\""),
+        };
+        let size = spec.get("size").and_then(Value::as_u64).unwrap_or(100) as usize;
+        let seed = spec.get("seed").and_then(Value::as_u64).unwrap_or(41);
+        if size == 0 || size > 100_000 {
+            return Response::bad_request("dataset size out of range (1..=100000)");
+        }
+        (kind, DatasetSpec::new(kind, size, seed).generate().db)
+    } else if let Some(graphs) = doc.get("graphs") {
+        match json::graphs_from_value(graphs) {
+            Ok(gs) if !gs.is_empty() => (
+                DatasetKind::PubchemLike,
+                midas_graph::GraphDb::from_graphs(gs),
+            ),
+            Ok(_) => return Response::bad_request("\"graphs\" must be non-empty"),
+            Err(e) => return Response::bad_request(&format!("bad graphs: {e}")),
+        }
+    } else {
+        return Response::bad_request("need \"dataset\" or \"graphs\"");
+    };
+
+    // Reserve the name first so two concurrent creates cannot both run a
+    // (multi-second) bootstrap for the same tenant.
+    if !state.reserve(&name) {
+        return Response::json(
+            409,
+            format!(
+                "{{\"error\": \"tenant exists\", \"tenant\": {}}}\n",
+                js::quote(&name)
+            ),
+        );
+    }
+    match Tenant::bootstrap(name.clone(), kind, db, config) {
+        Ok(tenant) => {
+            let tenant = Arc::new(tenant);
+            state.install(Arc::clone(&tenant));
+            Response::json(201, format!("{}\n", tenant_summary(&tenant)))
+        }
+        Err(e) => {
+            state.unreserve(&name);
+            Response::bad_request(&format!("bootstrap failed: {e}"))
+        }
+    }
+}
+
+fn delete_tenant(state: &ServeState, name: &str) -> Response {
+    if state.remove(name) {
+        Response::json(200, format!("{{\"removed\": {}}}\n", js::quote(name)))
+    } else {
+        Response::json(
+            404,
+            format!(
+                "{{\"error\": \"unknown tenant\", \"tenant\": {}}}\n",
+                js::quote(name)
+            ),
+        )
+    }
+}
+
+fn graphlets_json(freqs: &[f64; 8]) -> String {
+    let items: Vec<String> = freqs.iter().map(|f| js::number(*f)).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// `GET /v1/{tenant}/patterns` — the read hot path: one `Arc` clone off
+/// the published snapshot, one JSON render. Epoch + publish time +
+/// pending queue depth let the client judge staleness; the graphlet
+/// frequencies let it compute drift against a later epoch probe.
+fn patterns(tenant: &Arc<Tenant>) -> Response {
+    let snap = tenant.snapshot();
+    if midas_obs::enabled() {
+        midas_obs::registry::registry()
+            .counter(&crate::metric(&tenant.name, "serve.reads"))
+            .add(1);
+    }
+    let patterns_json = io::patterns_to_json(&snap.patterns).unwrap_or_else(|_| "[]".into());
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"epoch\": {}, \"db_len\": {}, \"published_unix_ms\": {}, \"pending_batches\": {}, \"graphlets\": {}, \"patterns\": {}}}\n",
+            js::quote(&tenant.name),
+            snap.epoch,
+            snap.db_len,
+            snap.published_unix_ms,
+            tenant.pending_len(),
+            graphlets_json(&snap.graphlets.as_array()),
+            patterns_json
+        ),
+    )
+}
+
+/// `GET /v1/{tenant}/epoch` — the cheap staleness probe (no pattern
+/// payload; a reader holding an older snapshot compares epochs and
+/// graphlet drift).
+fn epoch(tenant: &Arc<Tenant>) -> Response {
+    let snap = tenant.snapshot();
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"epoch\": {}, \"db_len\": {}, \"pending_batches\": {}, \"graphlets\": {}}}\n",
+            js::quote(&tenant.name),
+            snap.epoch,
+            snap.db_len,
+            tenant.pending_len(),
+            graphlets_json(&snap.graphlets.as_array())
+        ),
+    )
+}
+
+/// `GET /v1/{tenant}/queries?n=16&min=3&max=8&seed=7` — samples a query
+/// workload (connected subgraphs of database graphs) from the tenant's
+/// current database; the load harness refreshes its pool from here.
+fn queries(tenant: &Arc<Tenant>, req: &Request) -> Response {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16usize)
+        .min(4096);
+    let min = req
+        .query_param("min")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3usize);
+    let max = req
+        .query_param("max")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8usize)
+        .max(min);
+    let seed = req
+        .query_param("seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7u64);
+    let queries = tenant.with_midas(|m| midas_datagen::query_set(m.db(), n, (min, max), seed));
+    let body = io::patterns_to_json(&queries).unwrap_or_else(|_| "[]".into());
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"count\": {}, \"queries\": {}}}\n",
+            js::quote(&tenant.name),
+            queries.len(),
+            body
+        ),
+    )
+}
+
+fn parse_gen_spec(v: &Value) -> Result<GenSpec, String> {
+    let op = match v.get("op").and_then(Value::as_str) {
+        Some("growth") => GenOp::Growth,
+        Some("deletion") => GenOp::Deletion,
+        Some("novel") => GenOp::Novel,
+        Some(other) => return Err(format!("unknown generate op {other:?}")),
+        None => return Err("generate spec missing \"op\"".into()),
+    };
+    let motif = match v.get("motif").and_then(Value::as_str) {
+        None => None,
+        Some(name) => Some(motif_kind(name).ok_or_else(|| format!("unknown motif {name:?}"))?),
+    };
+    Ok(GenSpec {
+        op,
+        percent: v.get("percent").and_then(Value::as_f64).unwrap_or(4.0),
+        count: v.get("count").and_then(Value::as_u64).unwrap_or(8) as usize,
+        motif,
+        seed: v.get("seed").and_then(Value::as_u64).unwrap_or(7),
+    })
+}
+
+/// `POST /v1/{tenant}/updates[?mode=sync]` — body is either an explicit
+/// batch (`{"insert": [...], "delete": [...]}`, the
+/// [`midas_graph::io::batch_from_json`] format) or a generator spec
+/// (`{"generate": {"op": "growth", "percent": 4.0, "seed": 7}}`).
+///
+/// Default mode enqueues and answers `202` immediately; `mode=sync`
+/// waits until the tenant's queue is fully drained (batches apply in
+/// FIFO order either way) and answers with the resulting epoch.
+fn updates(state: &ServeState, tenant: &Arc<Tenant>, req: &Request) -> Response {
+    let body = match req.body_str() {
+        Some(b) if !b.trim().is_empty() => b,
+        _ => return Response::bad_request("missing JSON body"),
+    };
+    let job = if let Ok(doc) = Value::parse(body) {
+        if let Some(spec) = doc.get("generate") {
+            match parse_gen_spec(spec) {
+                Ok(spec) => Ingest::Generate(spec),
+                Err(e) => return Response::bad_request(&e),
+            }
+        } else if doc.get("insert").is_some() || doc.get("delete").is_some() {
+            match batch_from_value(&doc) {
+                Ok(batch) => Ingest::Batch(batch),
+                Err(e) => return Response::bad_request(&format!("bad batch: {e}")),
+            }
+        } else {
+            return Response::bad_request("need \"insert\"/\"delete\" or \"generate\"");
+        }
+    } else {
+        return Response::bad_request("invalid JSON");
+    };
+
+    if midas_obs::enabled() {
+        midas_obs::registry::registry()
+            .counter(&crate::metric(&tenant.name, "serve.updates"))
+            .add(1);
+    }
+    let queued = tenant.enqueue(job);
+    state.wake(tenant);
+
+    if req.query_param("mode") == Some("sync") {
+        // Wait for the pool to drain this tenant (FIFO: everything up to
+        // and including our job has applied once the queue is empty and
+        // no worker is mid-batch).
+        let begin = Instant::now();
+        while tenant.pending_len() > 0 || tenant.busy() {
+            if begin.elapsed() > SYNC_TIMEOUT {
+                return Response::json(
+                    503,
+                    format!(
+                        "{{\"error\": \"sync apply timed out; batch remains queued\", \"tenant\": {}}}\n",
+                        js::quote(&tenant.name)
+                    ),
+                );
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = tenant.snapshot();
+        Response::json(
+            200,
+            format!(
+                "{{\"tenant\": {}, \"mode\": \"sync\", \"epoch\": {}, \"db_len\": {}, \"patterns\": {}}}\n",
+                js::quote(&tenant.name),
+                snap.epoch,
+                snap.db_len,
+                snap.patterns.len()
+            ),
+        )
+    } else {
+        Response::json(
+            202,
+            format!(
+                "{{\"tenant\": {}, \"mode\": \"async\", \"queued\": {}}}\n",
+                js::quote(&tenant.name),
+                queued
+            ),
+        )
+    }
+}
+
+/// Builds a [`BatchUpdate`] from a parsed `{"insert": ..., "delete": ...}`
+/// document (both keys optional).
+fn batch_from_value(doc: &Value) -> Result<BatchUpdate, String> {
+    let insert = match doc.get("insert") {
+        Some(v) => json::graphs_from_value(v)?,
+        None => Vec::new(),
+    };
+    let delete = match doc.get("delete") {
+        Some(v) => v
+            .as_arr()
+            .ok_or("\"delete\" must be an array of ids")?
+            .iter()
+            .map(|id| id.as_u64().map(GraphId).ok_or("bad graph id"))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+    };
+    Ok(BatchUpdate { insert, delete })
+}
+
+/// `POST /v1/{tenant}/querylog` — body `{"queries": [graph, ...]}`. Each
+/// query is formulated against the tenant's *live* snapshot and its
+/// frozen epoch-0 baseline; the samples feed the global `/sli` document,
+/// the `midas_sli_*` families, and the per-tenant query counter.
+fn querylog(tenant: &Arc<Tenant>, req: &Request) -> Response {
+    let body = match req.body_str() {
+        Some(b) if !b.trim().is_empty() => b,
+        _ => return Response::bad_request("missing JSON body"),
+    };
+    let doc = match Value::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::bad_request(&format!("invalid JSON: {e}")),
+    };
+    let queries = match doc.get("queries").map(json::graphs_from_value) {
+        Some(Ok(qs)) => qs,
+        Some(Err(e)) => return Response::bad_request(&format!("bad queries: {e}")),
+        None => return Response::bad_request("missing \"queries\""),
+    };
+    let snap = tenant.snapshot();
+    let mut steps_live = 0u64;
+    let mut steps_baseline = 0u64;
+    for q in &queries {
+        let begin = Instant::now();
+        let live = midas_queryform::formulate(q, &snap.patterns).steps as u64;
+        let formulate_ns = begin.elapsed().as_nanos() as u64;
+        let base = midas_queryform::formulate(q, tenant.baseline()).steps as u64;
+        steps_live += live;
+        steps_baseline += base;
+        // Staleness vs the snapshot published *now*, after formulation.
+        let latest = tenant.snapshot();
+        midas_obs::sli::record_query(&midas_obs::QuerySample {
+            read_ns: 0,
+            formulate_ns,
+            steps_live: live,
+            steps_baseline: base,
+            staleness_batches: snap.batches_behind(&latest),
+            staleness_drift: snap.drift_to(&latest),
+        });
+    }
+    if midas_obs::enabled() && !queries.is_empty() {
+        midas_obs::registry::registry()
+            .counter(&crate::metric(&tenant.name, "serve.queries"))
+            .add(queries.len() as u64);
+    }
+    Response::json(
+        200,
+        format!(
+            "{{\"tenant\": {}, \"logged\": {}, \"epoch\": {}, \"steps_live\": {}, \"steps_baseline\": {}, \"reduction\": {}}}\n",
+            js::quote(&tenant.name),
+            queries.len(),
+            snap.epoch,
+            steps_live,
+            steps_baseline,
+            js::number(midas_obs::sli::reduction_from_steps(steps_live, steps_baseline))
+        ),
+    )
+}

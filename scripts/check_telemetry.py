@@ -23,6 +23,15 @@ Two modes:
 
       check_telemetry.py --sli <sli.json> [--snapshot <snapshot.json>]
 
+* Serving-daemon gate — runs after the multi-tenant serve smoke step;
+  validates the saved `GET /v1/tenants`, `GET /v1/{t}/patterns` and sync
+  `POST /v1/{t}/updates` responses, and that `GET /metrics` carries the
+  per-tenant `midas_serve_*` families.
+
+      check_telemetry.py --serve <tenants.json> [--patterns <patterns.json>] \
+                         [--update <update.json>] [--serve-metrics <metrics.txt>] \
+                         [--expect-tenants <n>]
+
 Fails loudly on drift so exporter changes are deliberate.
 """
 
@@ -402,8 +411,135 @@ def check_sli_snapshot(path):
           f"{counters['sli.queries']} queries)")
 
 
+TENANT_SUMMARY_FIELDS = [
+    "tenant", "kind", "epoch", "db_len", "patterns",
+    "pending_batches", "busy", "created_unix_ms",
+]
+
+SERVE_TENANT_FAMILIES = ["midas_serve_epoch", "midas_serve_db_len"]
+
+
+def check_serve_tenants(path, expect_tenants=None):
+    """Validates a saved `GET /v1/tenants` body from the serving daemon."""
+    with open(path) as f:
+        doc = json.load(f)
+    tenants = doc.get("tenants")
+    if not isinstance(tenants, list) or not tenants:
+        fail(f"{path}: tenants missing or empty (daemon served nobody)")
+    names = set()
+    for t in tenants:
+        for field in TENANT_SUMMARY_FIELDS:
+            if field not in t:
+                fail(f"{path}: tenant summary missing field {field!r}: {t}")
+        if not isinstance(t["tenant"], str) or not t["tenant"]:
+            fail(f"{path}: tenant summary with empty name: {t}")
+        if t["tenant"] in names:
+            fail(f"{path}: duplicate tenant {t['tenant']!r}")
+        names.add(t["tenant"])
+        if t["db_len"] < 1 or t["patterns"] < 1:
+            fail(f"{path}: tenant {t['tenant']!r} has an empty database "
+                 f"or pattern set: {t}")
+    if expect_tenants is not None and len(tenants) < int(expect_tenants):
+        fail(f"{path}: only {len(tenants)} tenants, expected "
+             f"at least {expect_tenants}")
+    print(f"{path}: ok ({len(tenants)} tenants: {sorted(names)})")
+
+
+def check_serve_patterns(path):
+    """Validates a saved `GET /v1/{tenant}/patterns` body."""
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ["epoch", "db_len", "published_unix_ms", "pending_batches"]:
+        if not isinstance(doc.get(field), int):
+            fail(f"{path}: field {field!r} missing or non-integer")
+    if not isinstance(doc.get("tenant"), str):
+        fail(f"{path}: field 'tenant' missing")
+    graphlets = doc.get("graphlets")
+    if not isinstance(graphlets, list) or len(graphlets) != 8:
+        fail(f"{path}: graphlets must be the 8-way frequency vector, "
+             f"got {graphlets!r}")
+    for g in graphlets:
+        if not isinstance(g, (int, float)) or g < 0:
+            fail(f"{path}: negative or non-numeric graphlet frequency {g!r}")
+    patterns = doc.get("patterns")
+    if not isinstance(patterns, list) or not patterns:
+        fail(f"{path}: patterns missing or empty (nothing to serve)")
+    for p in patterns:
+        if not isinstance(p, dict) or "labels" not in p or "edges" not in p:
+            fail(f"{path}: pattern without labels/edges: {str(p)[:120]}")
+        if not p["labels"]:
+            fail(f"{path}: empty pattern graph served: {str(p)[:120]}")
+    print(f"{path}: ok (tenant {doc['tenant']!r}, epoch {doc['epoch']}, "
+          f"{len(patterns)} patterns, db {doc['db_len']})")
+
+
+def check_serve_update(path):
+    """Validates a saved sync `POST /v1/{tenant}/updates` reply."""
+    with open(path) as f:
+        doc = json.load(f)
+    for field in ["epoch", "db_len", "patterns"]:
+        if not isinstance(doc.get(field), int):
+            fail(f"{path}: field {field!r} missing or non-integer")
+    if doc.get("mode") != "sync":
+        fail(f"{path}: mode is {doc.get('mode')!r}, expected 'sync'")
+    if doc["epoch"] < 1:
+        fail(f"{path}: epoch {doc['epoch']} after a sync update "
+             "(apply_batch never ran)")
+    print(f"{path}: ok (tenant {doc.get('tenant')!r} advanced to "
+          f"epoch {doc['epoch']}, db {doc['db_len']})")
+
+
+def check_serve_metrics(path, expect_tenants=None):
+    """Validates that `GET /metrics` carries tenant-labeled
+    `midas_serve_*` families for the daemon's tenants."""
+    with open(path) as f:
+        text = f.read()
+    by_family = {}
+    for line in text.splitlines():
+        if not line.strip() or line.startswith("#"):
+            continue
+        m = SAMPLE_LINE.match(line)
+        if not m or not m.group("labels"):
+            continue
+        labels = dict(
+            pair.split("=", 1) for pair in m.group("labels").split(",")
+            if "=" in pair
+        )
+        tenant = labels.get("tenant")
+        if tenant is None:
+            continue
+        by_family.setdefault(m.group("name"), set()).add(tenant.strip('"'))
+    if not by_family:
+        fail(f"{path}: no tenant-labeled samples at all "
+             "(serve telemetry never exported)")
+    for family in SERVE_TENANT_FAMILIES:
+        if family not in by_family:
+            fail(f"{path}: required tenant-labeled family {family!r} missing "
+                 f"(saw {sorted(by_family)})")
+    tenants = set().union(*by_family.values())
+    if expect_tenants is not None and len(tenants) < int(expect_tenants):
+        fail(f"{path}: tenant labels cover only {sorted(tenants)}, expected "
+             f"at least {expect_tenants} tenants")
+    print(f"{path}: ok ({len(by_family)} tenant-labeled families over "
+          f"{len(tenants)} tenants)")
+
+
 def main():
     args = sys.argv[1:]
+    if "--serve" in args:
+        opts = dict(zip(args[::2], args[1::2]))
+        if "--serve" not in opts:
+            fail("--serve requires a file argument")
+        expect = opts.get("--expect-tenants")
+        check_serve_tenants(opts["--serve"], expect)
+        if "--patterns" in opts:
+            check_serve_patterns(opts["--patterns"])
+        if "--update" in opts:
+            check_serve_update(opts["--update"])
+        if "--serve-metrics" in opts:
+            check_serve_metrics(opts["--serve-metrics"], expect)
+        print("serve daemon check passed")
+        return
     if "--sli" in args:
         opts = dict(zip(args[::2], args[1::2]))
         if "--sli" not in opts:
@@ -438,7 +574,10 @@ def main():
             "[--profile <profile.folded>] [--slow <slow.json>] "
             "[--alerts <alerts.json>] [--expect-firing <name>]\n"
             "   or: check_telemetry.py --sli <sli.json> "
-            "[--snapshot <snapshot.json>]"
+            "[--snapshot <snapshot.json>]\n"
+            "   or: check_telemetry.py --serve <tenants.json> "
+            "[--patterns <patterns.json>] [--update <update.json>] "
+            "[--serve-metrics <metrics.txt>] [--expect-tenants <n>]"
         )
     check_metrics(args[0])
     check_trace(args[1])

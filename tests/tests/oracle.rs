@@ -12,8 +12,8 @@ fn full_oracle_run_is_clean_on_the_ci_seed() {
         "oracle divergences: {}",
         report.to_json()
     );
-    // All six checks ran and actually compared something.
-    assert_eq!(report.checks.len(), 6);
+    // All seven checks ran and actually compared something.
+    assert_eq!(report.checks.len(), 7);
     for check in &report.checks {
         assert!(check.cases > 0, "check {} ran zero cases", check.name);
     }
@@ -27,6 +27,7 @@ fn full_oracle_run_is_clean_on_the_ci_seed() {
             "ged_bounds",
             "multi_scan_swap",
             "plan_vs_vf2",
+            "serve_vs_library",
         ]
     );
 }

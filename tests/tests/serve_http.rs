@@ -1,0 +1,145 @@
+//! Cross-crate integration tests for the `midas-serve` daemon: tenant
+//! isolation under concurrent maintenance, and the HTTP load harness
+//! driving a real daemon end to end.
+
+use midas_load::{run_http, LoadConfig};
+use midas_serve::client::ServeClient;
+use midas_serve::{GenOp, GenSpec, ServeConfig, ServeDaemon};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+fn start() -> (ServeDaemon, ServeClient) {
+    let daemon = ServeDaemon::start(ServeConfig::default()).expect("start daemon");
+    let client = ServeClient::new(daemon.addr().to_string());
+    (daemon, client)
+}
+
+/// One tenant's maintenance must not perturb another tenant's serving:
+/// while a writer hammers tenant A with growth batches, every concurrent
+/// read of tenant B must answer promptly, at B's unchanged epoch, with
+/// B's unchanged pattern set — and every snapshot observed of *either*
+/// tenant must be internally consistent (a published epoch, never a
+/// half-applied state).
+#[test]
+fn tenant_maintenance_does_not_block_or_leak_into_other_tenants() {
+    let (daemon, client) = start();
+    assert_eq!(
+        client
+            .create_tenant("awrite", "pubchem_like", 36, 41, "small")
+            .unwrap()
+            .status,
+        201
+    );
+    assert_eq!(
+        client
+            .create_tenant("bread", "emol_like", 24, 43, "small")
+            .unwrap()
+            .status,
+        201
+    );
+    let b_before = client.patterns("bread").unwrap();
+    assert_eq!(b_before.epoch, 0);
+
+    let writer_done = AtomicBool::new(false);
+    let mut a_final_epoch = 0;
+    let mut b_reads = 0u64;
+    std::thread::scope(|scope| {
+        // Writer: four synchronous growth batches to A, back to back.
+        // mode=sync means each response only returns after apply_batch
+        // has finished — the writer holds A's maintenance busy the whole
+        // time the readers below are running.
+        let writer_client = client.clone();
+        let writer_done = &writer_done;
+        let writer = scope.spawn(move || {
+            for i in 0..4u64 {
+                let spec = GenSpec {
+                    op: GenOp::Growth,
+                    percent: 8.0,
+                    count: 0,
+                    motif: None,
+                    seed: 100 + i,
+                };
+                let reply = writer_client.post_generate("awrite", &spec, true).unwrap();
+                assert_eq!(reply.status, 200, "{}", reply.body);
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        // Readers: poll B (and A) for the writer's whole lifetime.
+        let mut a_epochs_seen = Vec::new();
+        while !writer_done.load(Ordering::Acquire) {
+            let started = Instant::now();
+            let b = client.patterns("bread").unwrap();
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "a read of B stalled behind A's maintenance"
+            );
+            // Isolation: B is untouched, bit for bit.
+            assert_eq!(b.epoch, 0, "B's epoch moved while only A was written");
+            assert_eq!(b.patterns, b_before.patterns, "B's pattern set changed");
+            assert_eq!(b.db_len, b_before.db_len);
+            b_reads += 1;
+
+            // Consistency of the busy tenant: whatever epoch we catch,
+            // the payload must be a published state (db grows with the
+            // epoch; pattern set non-empty).
+            let a = client.patterns("awrite").unwrap();
+            assert!(a.epoch <= 4);
+            assert!(!a.patterns.is_empty(), "observed a half-published snapshot");
+            assert!(a.db_len >= 36, "db_len regressed under growth-only batches");
+            a_epochs_seen.push(a.epoch);
+        }
+        writer.join().expect("writer panicked");
+
+        // Epochs observed while reading the busy tenant never go back.
+        assert!(
+            a_epochs_seen.windows(2).all(|w| w[0] <= w[1]),
+            "A's observed epochs were not monotone: {a_epochs_seen:?}"
+        );
+        a_final_epoch = client.epoch("awrite").unwrap().epoch;
+    });
+
+    assert_eq!(a_final_epoch, 4, "all four sync batches applied");
+    assert!(b_reads > 0, "readers never ran while the writer was busy");
+    assert_eq!(client.epoch("bread").unwrap().epoch, 0);
+    daemon.shutdown();
+}
+
+/// The HTTP load harness runs its closed loop against a daemon-hosted
+/// tenant while a *second* tenant stays frozen — `run_http` and tenant
+/// isolation composed.
+#[test]
+fn http_load_harness_drives_one_tenant_while_another_stays_frozen() {
+    let (daemon, client) = start();
+    assert_eq!(
+        client
+            .create_tenant("driven", "pubchem_like", 30, 7, "small")
+            .unwrap()
+            .status,
+        201
+    );
+    assert_eq!(
+        client
+            .create_tenant("frozen", "emol_like", 20, 9, "small")
+            .unwrap()
+            .status,
+        201
+    );
+
+    let cfg = LoadConfig {
+        users: 2,
+        ticks: 3,
+        tick_ms: 10,
+        pool: 8,
+        ..LoadConfig::default()
+    };
+    let report = run_http(&daemon.addr().to_string(), "driven", &cfg).expect("http load run");
+    assert_eq!(report.ticks, 3);
+    assert_eq!(report.final_epoch, 3);
+    assert!(report.queries > 0);
+    assert!(report.reduction.is_finite());
+
+    let frozen = client.epoch("frozen").unwrap();
+    assert_eq!(frozen.epoch, 0, "load on one tenant leaked into another");
+    daemon.shutdown();
+}
